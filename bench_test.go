@@ -1,0 +1,232 @@
+package jitgc
+
+// One testing.B benchmark per table and figure of the paper's evaluation,
+// plus the ablations DESIGN.md calls out. Each runs its experiment at
+// reduced scale (benchOps requests) and reports the paper's metric of
+// interest through b.ReportMetric, so `go test -bench=. -benchmem`
+// regenerates every result series in miniature; cmd/paperbench runs the
+// same experiments at full scale.
+
+import (
+	"testing"
+
+	"jitgc/internal/core"
+	"jitgc/internal/ftl"
+)
+
+const benchOps = 12000
+
+func benchOpt() Options { return Options{Seed: 1, Ops: benchOps} }
+
+// runPair measures one policy against the A-BGC baseline on a benchmark.
+func runPair(b *testing.B, benchmark string, spec PolicySpec) (res, base Results) {
+	b.Helper()
+	var err error
+	base, err = Run(benchmark, Aggressive(), benchOpt())
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err = Run(benchmark, spec, benchOpt())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res, base
+}
+
+// BenchmarkFig2aReservedCapacityIOPS regenerates Fig. 2(a): normalized IOPS
+// across the C_resv sweep (reported for the 0.5×OP point, the paper's
+// L-BGC end of the curve).
+func BenchmarkFig2aReservedCapacityIOPS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lazyEnd, base := runPair(b, "Tiobench", Fixed(0.5))
+		b.ReportMetric(lazyEnd.NormalizedIOPS(base), "normIOPS@0.5OP")
+	}
+}
+
+// BenchmarkFig2bReservedCapacityWAF regenerates Fig. 2(b): normalized WAF
+// at the lazy end of the sweep.
+func BenchmarkFig2bReservedCapacityWAF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lazyEnd, base := runPair(b, "Tiobench", Fixed(0.5))
+		b.ReportMetric(lazyEnd.NormalizedWAF(base), "normWAF@0.5OP")
+	}
+}
+
+// BenchmarkTable1WriteBreakdown regenerates Table 1: the buffered share of
+// device writes per benchmark (reported for YCSB, the paper's 88.2% column).
+func BenchmarkTable1WriteBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Run("YCSB", Lazy(), benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.BufferedRatio(), "buffered%")
+	}
+}
+
+// BenchmarkFig4BufferedDemand regenerates the Fig. 4 worked example.
+func BenchmarkFig4BufferedDemand(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		demands, err := Fig4Demands()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(demands) != 3 {
+			b.Fatalf("demands = %d", len(demands))
+		}
+	}
+}
+
+// BenchmarkFig5CDH regenerates the Fig. 5 worked example.
+func BenchmarkFig5CDH(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables, err := fig5(Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("no output")
+		}
+	}
+}
+
+// BenchmarkFig6ManagerDecisions regenerates the Fig. 6 worked example and
+// reports the t=20 D_reclaim in MB (paper: 12.5).
+func BenchmarkFig6ManagerDecisions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, at20 := Fig6Decisions()
+		b.ReportMetric(float64(at20)/1e6, "Dreclaim-MB")
+	}
+}
+
+// BenchmarkFig7aPolicyIOPS regenerates Fig. 7(a) for the headline claim:
+// JIT-GC's IOPS relative to A-BGC on the update-heavy YCSB.
+func BenchmarkFig7aPolicyIOPS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		jit, base := runPair(b, "YCSB", JIT())
+		b.ReportMetric(jit.NormalizedIOPS(base), "JIT-normIOPS")
+	}
+}
+
+// BenchmarkFig7bPolicyWAF regenerates Fig. 7(b): JIT-GC's WAF relative to
+// A-BGC on YCSB.
+func BenchmarkFig7bPolicyWAF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		jit, base := runPair(b, "YCSB", JIT())
+		b.ReportMetric(jit.NormalizedWAF(base), "JIT-normWAF")
+	}
+}
+
+// BenchmarkTable2PredictionAccuracy regenerates Table 2: JIT-GC prediction
+// accuracy on YCSB (paper: 98.9%).
+func BenchmarkTable2PredictionAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Run("YCSB", JIT(), benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.PredictionAccuracy, "accuracy%")
+	}
+}
+
+// BenchmarkTable3FilteredVictims regenerates Table 3: the share of victim
+// selections where SIP filtering paid to avoid a tainted block (Postmark,
+// the paper's 20.6% maximum).
+func BenchmarkTable3FilteredVictims(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Run("Postmark", JIT(), benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.FilteredVictimPct, "filtered%")
+	}
+}
+
+// BenchmarkAblationSIPFiltering compares JIT-GC WAF with and without SIP
+// victim filtering.
+func BenchmarkAblationSIPFiltering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		with, err := Run("Postmark", JIT(), benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec := JIT()
+		spec.DisableSIP = true
+		without, err := Run("Postmark", spec, benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(with.WAF, "WAF-with")
+		b.ReportMetric(without.WAF, "WAF-without")
+	}
+}
+
+// BenchmarkAblationCDHPercentile sweeps the direct-write CDH percentile
+// (paper's 80% default) and reports FGC counts at the extremes.
+func BenchmarkAblationCDHPercentile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, pct := range []float64{0.5, 0.8, 0.95} {
+			spec := JIT()
+			spec.JIT = core.JITOptions{Percentile: pct}
+			res, err := Run("TPC-C", spec, benchOpt())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if pct == 0.8 {
+				b.ReportMetric(float64(res.FGCInvocations), "FGC@80pct")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationFlushRelaxation compares the paper's relaxed τ_flush
+// prediction against the strict variant (§3.2.1's rationale).
+func BenchmarkAblationFlushRelaxation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		relaxed, err := Run("Filebench", JIT(), benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec := JIT()
+		spec.JIT = core.JITOptions{StrictFlushPrediction: true}
+		strict, err := Run("Filebench", spec, benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(relaxed.FGCInvocations), "FGC-relaxed")
+		b.ReportMetric(float64(strict.FGCInvocations), "FGC-strict")
+	}
+}
+
+// BenchmarkAblationVictimSelector compares greedy vs cost-benefit victim
+// selection WAF under L-BGC.
+func BenchmarkAblationVictimSelector(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := benchOpt()
+		greedy, err := Run("TPC-C", Lazy(), opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg, _ := opt.withDefaults().simConfig()
+		cfg.FTL.Selector = ftl.CostBenefit{}
+		opt.Config = &cfg
+		cb, err := Run("TPC-C", Lazy(), opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(greedy.WAF, "WAF-greedy")
+		b.ReportMetric(cb.WAF, "WAF-costbenefit")
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: simulated
+// requests processed per wall-clock second.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run("TPC-C", Lazy(), benchOpt()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(benchOps*b.N)/b.Elapsed().Seconds(), "req/s")
+}

@@ -1,0 +1,149 @@
+// Command jitgcsim runs one benchmark under one BGC policy on the simulated
+// SSD and prints the full result record.
+//
+// Usage:
+//
+//	jitgcsim -bench YCSB -policy JIT-GC [-ops N] [-seed S] [-factor F]
+//
+// Policies: L-BGC, A-BGC, ADP-GC, JIT-GC, no-BGC, or fixed (with -factor,
+// C_resv = factor × C_OP).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"jitgc"
+	"jitgc/internal/metrics"
+	"jitgc/internal/sim"
+	"jitgc/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("jitgcsim: ")
+
+	var (
+		bench    = flag.String("bench", "YCSB", "benchmark name (YCSB, Postmark, Filebench, Bonnie++, Tiobench, TPC-C)")
+		policy   = flag.String("policy", "JIT-GC", "BGC policy (L-BGC, A-BGC, ADP-GC, JIT-GC, fixed, no-BGC)")
+		factor   = flag.Float64("factor", 1.0, "C_resv factor for -policy fixed (× C_OP)")
+		ops      = flag.Int("ops", 0, "number of host requests (default 100000)")
+		seed     = flag.Int64("seed", 1, "workload generation seed")
+		noSIP    = flag.Bool("no-sip", false, "disable SIP victim filtering (JIT-GC only)")
+		timeline = flag.String("timeline", "", "write per-interval state samples to this CSV file")
+		traceIn  = flag.String("trace", "", "replay this trace file instead of a synthetic benchmark (jitgc text format, or MSR CSV with -msr)")
+		msr      = flag.Bool("msr", false, "parse -trace as an MSR-Cambridge CSV block trace")
+	)
+	flag.Parse()
+
+	spec := jitgc.PolicySpec{Kind: *policy, Factor: *factor, DisableSIP: *noSIP}
+	var (
+		res jitgc.Results
+		err error
+	)
+	switch {
+	case *traceIn != "":
+		res, err = replayTraceFile(*traceIn, *msr, spec, *timeline)
+	default:
+		res, err = runBenchmark(*bench, spec, jitgc.Options{Seed: *seed, Ops: *ops}, *timeline)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark            %s\n", res.Workload)
+	fmt.Printf("policy               %s\n", res.Policy)
+	fmt.Printf("requests             %d\n", res.Requests)
+	fmt.Printf("simulated time       %v\n", res.SimTime.Round(1e6))
+	fmt.Printf("IOPS                 %.0f\n", res.IOPS)
+	fmt.Printf("WAF                  %.3f\n", res.WAF)
+	fmt.Printf("host programs        %d pages\n", res.HostPrograms)
+	fmt.Printf("GC migrations        %d pages (%d wasted)\n", res.GCMigrations, res.WastedMigrations)
+	fmt.Printf("block erases         %d (wear min/max %d/%d)\n", res.Erases, res.MinErase, res.MaxErase)
+	fmt.Printf("foreground GC        %d invocations\n", res.FGCInvocations)
+	fmt.Printf("background GC        %d collections\n", res.BGCCollections)
+	fmt.Printf("latency mean/p99/max %v / %v / %v\n",
+		res.MeanLatency.Round(1e3), res.P99Latency.Round(1e3), res.MaxLatency.Round(1e3))
+	fmt.Printf("buffered/direct      %.1f%% / %.1f%% of device writes\n",
+		100*res.BufferedRatio(), 100*(1-res.BufferedRatio()))
+	if res.Predictive {
+		fmt.Printf("prediction accuracy  %.1f%%\n", 100*res.PredictionAccuracy)
+		fmt.Printf("SIP-filtered victims %.1f%%\n", res.FilteredVictimPct)
+	}
+	if res.TrimmedPages > 0 {
+		fmt.Printf("trimmed pages        %d\n", res.TrimmedPages)
+	}
+}
+
+// runBenchmark runs a synthetic benchmark, optionally capturing a timeline.
+func runBenchmark(bench string, spec jitgc.PolicySpec, opt jitgc.Options, timelinePath string) (jitgc.Results, error) {
+	if timelinePath == "" {
+		return jitgc.Run(bench, spec, opt)
+	}
+	reqs, cfg, err := jitgc.GenerateStream(bench, opt)
+	if err != nil {
+		return jitgc.Results{}, err
+	}
+	cfg.RecordTimeline = true
+	return runWithTimeline(reqs, bench, spec, cfg, true, timelinePath)
+}
+
+// replayTraceFile replays a recorded trace open-loop.
+func replayTraceFile(path string, msr bool, spec jitgc.PolicySpec, timelinePath string) (jitgc.Results, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return jitgc.Results{}, err
+	}
+	defer f.Close()
+
+	cfg := sim.DefaultConfig()
+	user := int64(float64(cfg.FTL.Geometry.TotalPages()) / (1 + cfg.FTL.OPRatio))
+	var reqs []trace.Request
+	if msr {
+		reqs, err = trace.DecodeMSR(f, trace.MSROptions{Disk: -1, MaxLPN: user})
+	} else {
+		reqs, err = trace.Decode(f)
+	}
+	if err != nil {
+		return jitgc.Results{}, err
+	}
+	cfg.PreconditionPages = user / 2
+	cfg.RecordTimeline = timelinePath != ""
+	// jitgc text traces carry think times (closed loop); MSR traces carry
+	// absolute arrival timestamps (open loop).
+	return runWithTimeline(reqs, path, spec, cfg, !msr, timelinePath)
+}
+
+func runWithTimeline(reqs []trace.Request, name string, spec jitgc.PolicySpec, cfg sim.Config, closed bool, timelinePath string) (jitgc.Results, error) {
+	s, err := sim.New(cfg, spec.Factory())
+	if err != nil {
+		return jitgc.Results{}, err
+	}
+	var res jitgc.Results
+	if closed {
+		res, err = s.RunClosedLoop(reqs)
+	} else {
+		res, err = s.Run(reqs)
+	}
+	if err != nil {
+		return jitgc.Results{}, err
+	}
+	res.Workload = name
+	if timelinePath != "" {
+		out, err := os.Create(timelinePath)
+		if err != nil {
+			return res, err
+		}
+		if err := metrics.WriteTimelineCSV(out, s.Timeline()); err != nil {
+			out.Close()
+			return res, err
+		}
+		if err := out.Close(); err != nil {
+			return res, err
+		}
+		fmt.Fprintf(os.Stderr, "timeline: %d samples written to %s\n", len(s.Timeline()), timelinePath)
+	}
+	return res, nil
+}

@@ -1,0 +1,66 @@
+// Command paperbench regenerates the tables and figures of the JIT-GC paper
+// (Hahn, Lee, Kim — DAC 2015) on the simulated SSD substrate.
+//
+// Usage:
+//
+//	paperbench [-exp id[,id...]] [-ops N] [-seed S] [-list]
+//
+// With no -exp it runs every experiment in presentation order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"jitgc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paperbench: ")
+
+	var (
+		expIDs = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		ops    = flag.Int("ops", 0, "requests per benchmark run (default 100000)")
+		seed   = flag.Int64("seed", 1, "workload generation seed")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range jitgc.Experiments() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var exps []jitgc.Experiment
+	if *expIDs == "" {
+		exps = jitgc.Experiments()
+	} else {
+		for _, id := range strings.Split(*expIDs, ",") {
+			e, err := jitgc.ExperimentByID(strings.TrimSpace(id))
+			if err != nil {
+				log.Fatal(err)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	opt := jitgc.Options{Seed: *seed, Ops: *ops}
+	for _, e := range exps {
+		start := time.Now()
+		tables, err := e.Run(opt)
+		if err != nil {
+			log.Fatalf("%s: %v", e.ID, err)
+		}
+		fmt.Printf("=== %s — %s (%.1fs)\n\n", e.ID, e.Title, time.Since(start).Seconds())
+		for _, t := range tables {
+			fmt.Fprintln(os.Stdout, t.String())
+		}
+	}
+}

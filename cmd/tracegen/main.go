@@ -1,0 +1,61 @@
+// Command tracegen writes a benchmark's synthetic request stream as a text
+// trace file that jitgcsim-compatible tools (and examples/tracereplay) can
+// replay.
+//
+// Usage:
+//
+//	tracegen -bench Postmark -out postmark.trace [-ops N] [-seed S] [-ws PAGES]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"jitgc/internal/trace"
+	"jitgc/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+
+	var (
+		bench = flag.String("bench", "YCSB", "benchmark name")
+		out   = flag.String("out", "", "output file (default stdout)")
+		ops   = flag.Int("ops", 100000, "number of requests")
+		seed  = flag.Int64("seed", 1, "generation seed")
+		ws    = flag.Int64("ws", 28621, "working set in pages (default: half the default user capacity)")
+	)
+	flag.Parse()
+
+	gen, err := workload.ByName(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reqs, err := gen.Generate(workload.Params{Seed: *seed, Ops: *ops, WorkingSetPages: *ws})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := trace.Encode(w, reqs); err != nil {
+		log.Fatal(err)
+	}
+	st := trace.Summarize(reqs)
+	fmt.Fprintf(os.Stderr, "wrote %d requests: %d read / %d buffered / %d direct pages (buffered share of issued writes %.1f%%)\n",
+		st.Requests, st.ReadPages, st.BufferedPages, st.DirectPages, 100*st.BufferedRatio)
+}

@@ -1,0 +1,71 @@
+package jitgc_test
+
+import (
+	"fmt"
+	"time"
+
+	"jitgc"
+	"jitgc/internal/core"
+)
+
+// ExampleRun shows the one-call API: run a benchmark under JIT-GC and read
+// the headline metrics. Results are deterministic for a given seed.
+func ExampleRun() {
+	res, err := jitgc.Run("TPC-C", jitgc.JIT(), jitgc.Options{Seed: 1, Ops: 20000})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Workload, res.Policy, res.Requests)
+	// Output: TPC-C JIT-GC 20000
+}
+
+// ExampleFig6Decisions reproduces the paper's Fig. 6 worked example: the
+// manager skips BGC at t=10 and reclaims 12.5 MB at t=20.
+func ExampleFig6Decisions() {
+	at10, at20 := jitgc.Fig6Decisions()
+	fmt.Printf("t=10s: %.1f MB\n", float64(at10)/1e6)
+	fmt.Printf("t=20s: %.1f MB\n", float64(at20)/1e6)
+	// Output:
+	// t=10s: 0.0 MB
+	// t=20s: 12.5 MB
+}
+
+// ExampleSchedule evaluates the pure just-in-time scheduling rule on the
+// paper's Fig. 6(b) inputs.
+func ExampleSchedule() {
+	const mb = 1e6
+	demand := []int64{5 * mb, 5 * mb, 25 * mb, 45 * mb, 5 * mb, 205 * mb}
+	reclaim := core.Schedule(demand, 50*mb, 5*time.Second, 40*mb, 10*mb, 1)
+	fmt.Printf("%.1f MB\n", float64(reclaim)/mb)
+	// Output: 12.5 MB
+}
+
+// ExamplePolicySpec demonstrates the policy constructors matching the
+// paper's configurations.
+func ExamplePolicySpec() {
+	for _, spec := range []jitgc.PolicySpec{
+		jitgc.Lazy(), jitgc.Aggressive(), jitgc.Fixed(0.75), jitgc.ADP(), jitgc.JIT(),
+	} {
+		fmt.Println(spec.Kind)
+	}
+	// Output:
+	// L-BGC
+	// A-BGC
+	// fixed
+	// ADP-GC
+	// JIT-GC
+}
+
+// ExampleBenchmarks lists the six paper benchmarks in evaluation order.
+func ExampleBenchmarks() {
+	for _, b := range jitgc.Benchmarks() {
+		fmt.Println(b)
+	}
+	// Output:
+	// YCSB
+	// Postmark
+	// Filebench
+	// Bonnie++
+	// Tiobench
+	// TPC-C
+}

@@ -1,0 +1,39 @@
+// Quickstart: run one benchmark under the four BGC policies of the paper
+// and print IOPS, WAF and GC activity side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"jitgc"
+)
+
+func main() {
+	benchmark := "YCSB"
+	if len(os.Args) > 1 {
+		benchmark = os.Args[1]
+	}
+
+	policies := []jitgc.PolicySpec{
+		jitgc.Lazy(), jitgc.Aggressive(), jitgc.ADP(), jitgc.JIT(),
+	}
+
+	fmt.Printf("benchmark %s, four BGC policies:\n\n", benchmark)
+	fmt.Printf("%-8s %10s %8s %8s %8s %10s %8s\n",
+		"policy", "IOPS", "WAF", "FGC", "BGC", "p99 lat", "acc")
+	for _, p := range policies {
+		res, err := jitgc.Run(benchmark, p, jitgc.Options{})
+		if err != nil {
+			log.Fatalf("run %s/%s: %v", benchmark, p.Kind, err)
+		}
+		acc := "-"
+		if res.Predictive {
+			acc = fmt.Sprintf("%.1f%%", 100*res.PredictionAccuracy)
+		}
+		fmt.Printf("%-8s %10.0f %8.3f %8d %8d %10s %8s\n",
+			res.Policy, res.IOPS, res.WAF, res.FGCInvocations,
+			res.BGCCollections, res.P99Latency, acc)
+	}
+}

@@ -1,0 +1,74 @@
+// Tracereplay round-trips a workload through the text trace format and
+// replays it against two policies: generate a stream, encode it to a file,
+// decode it back, and simulate. This is the path for feeding recorded
+// block traces to the simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"jitgc"
+	"jitgc/internal/sim"
+	"jitgc/internal/trace"
+	"jitgc/internal/workload"
+)
+
+func main() {
+	benchmark := "Filebench"
+	if len(os.Args) > 1 {
+		benchmark = os.Args[1]
+	}
+
+	// Generate a stream and write it as a trace file.
+	gen, err := workload.ByName(benchmark)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	user := int64(float64(cfg.FTL.Geometry.TotalPages()) / (1 + cfg.FTL.OPRatio))
+	reqs, err := gen.Generate(workload.Params{Seed: 7, Ops: 40000, WorkingSetPages: user / 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(os.TempDir(), "jitgc-replay.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := trace.Encode(f, reqs); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Read it back and replay under two policies.
+	f, err = os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	replayed, err := trace.Decode(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	st := trace.Summarize(replayed)
+	fmt.Printf("replaying %d requests from %s (%d written pages, %.1f%% buffered at issue)\n\n",
+		st.Requests, path, st.WrittenPages, 100*st.BufferedRatio)
+
+	cfg.PreconditionPages = int64(0.90 * float64(user))
+	for _, spec := range []jitgc.PolicySpec{jitgc.Lazy(), jitgc.JIT()} {
+		// Generated traces carry think times, so replay closed-loop.
+		res, err := jitgc.RunTrace(replayed, benchmark, spec, cfg, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-7s IOPS=%7.0f WAF=%.3f FGC=%d p99=%v\n",
+			res.Policy, res.IOPS, res.WAF, res.FGCInvocations, res.P99Latency.Round(1e3))
+	}
+}

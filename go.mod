@@ -1,0 +1,3 @@
+module jitgc
+
+go 1.24

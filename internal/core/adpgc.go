@@ -1,0 +1,51 @@
+package core
+
+import (
+	"time"
+
+	"jitgc/internal/predictor"
+)
+
+// ADPGC is the adaptive baseline of the paper's evaluation (§4.2): it
+// changes the reserved capacity dynamically, but its future write demand
+// estimation runs entirely inside the SSD. It therefore cannot distinguish
+// buffered from direct writes — it applies JIT-GC's direct-write CDH
+// predictor to the whole device write stream — and has no SIP information
+// for victim selection.
+type ADPGC struct {
+	tracker *predictor.CDHTracker
+	expire  time.Duration
+}
+
+// NewADPGC builds the ADP-GC baseline. wb must match the simulator's
+// write-back interval configuration; opts reuses the CDH knobs of JIT-GC.
+func NewADPGC(wb predictor.WriteBack, opts JITOptions) (*ADPGC, error) {
+	opts.setDefaults()
+	tr, err := predictor.NewCDHTracker(wb, opts.Percentile, opts.CDHBinWidth, opts.CDHBins, opts.RecentWindows)
+	if err != nil {
+		return nil, err
+	}
+	return &ADPGC{tracker: tr, expire: wb.Expire}, nil
+}
+
+// Name implements Policy.
+func (a *ADPGC) Name() string { return "ADP-GC" }
+
+// ObserveDeviceWrite records bytes of any write reaching the device —
+// the only traffic visible from inside the SSD.
+func (a *ADPGC) ObserveDeviceWrite(bytes int64) { a.tracker.Observe(bytes) }
+
+// OnInterval implements Policy. ADP-GC reserves the predicted demand lazily
+// with the same scheduling rule as JIT-GC — the difference is purely in
+// prediction quality (a device-only CDH spread uniformly over the horizon)
+// and the missing SIP list.
+func (a *ADPGC) OnInterval(_ time.Duration, view DeviceView) Decision {
+	a.tracker.Tick()
+	demand := a.tracker.Predict()
+	period := a.expire / time.Duration(len(demand))
+	return Decision{
+		PredictedBytes: demand.Total(),
+		ReclaimBytes: Schedule(demand, view.FreeBytes(), period,
+			view.WriteBandwidth(), view.GCBandwidth(), view.IdleFraction()),
+	}
+}

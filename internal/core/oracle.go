@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"jitgc/internal/predictor"
+)
+
+// Oracle is the ideal BGC invocation policy the paper's §2 motivates:
+// "one that can dynamically change C_resv so that only an exact amount of
+// future writes can be reserved in advance". It is fed the per-interval
+// device write volumes of a previous run of the same workload, so its
+// demand forecast is (near-)perfect; the residual error is only the timing
+// drift the policy itself introduces. Oracle is the upper-bound anchor the
+// practical predictors (JIT-GC, ADP-GC) are measured against.
+type Oracle struct {
+	future []int64 // bytes actually written per interval, known in advance
+	wb     predictor.WriteBack
+	cursor int
+}
+
+// NewOracle builds the ideal policy from a recorded per-interval write
+// series (e.g. sim.Simulator.IntervalActuals from a prior pass).
+func NewOracle(future []int64, wb predictor.WriteBack) (*Oracle, error) {
+	if err := wb.Validate(); err != nil {
+		return nil, err
+	}
+	if len(future) == 0 {
+		return nil, fmt.Errorf("core: oracle needs a recorded future")
+	}
+	cp := make([]int64, len(future))
+	copy(cp, future)
+	return &Oracle{future: cp, wb: wb}, nil
+}
+
+// Name implements Policy.
+func (o *Oracle) Name() string { return "Oracle" }
+
+// ObserveDeviceWrite is a no-op: the oracle already knows the future. It
+// exists so the simulator treats the oracle as a predictive policy and
+// scores its accuracy.
+func (o *Oracle) ObserveDeviceWrite(int64) {}
+
+// OnInterval implements Policy: the demand sequence is simply the recorded
+// future, scheduled with the same just-in-time rule as JIT-GC.
+func (o *Oracle) OnInterval(_ time.Duration, view DeviceView) Decision {
+	nwb := o.wb.Nwb()
+	demand := make([]int64, nwb)
+	for i := 0; i < nwb; i++ {
+		// The forecast at the start of interval k covers intervals
+		// k+1 … k+Nwb of the recording.
+		idx := o.cursor + 1 + i
+		if idx < len(o.future) {
+			demand[i] = o.future[idx]
+		}
+	}
+	o.cursor++
+
+	var total int64
+	for _, d := range demand {
+		total += d
+	}
+	return Decision{
+		PredictedBytes: total,
+		ReclaimBytes: Schedule(demand, view.FreeBytes(), o.wb.Period,
+			view.WriteBandwidth(), view.GCBandwidth(), view.IdleFraction()),
+	}
+}

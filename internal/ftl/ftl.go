@@ -1,0 +1,440 @@
+// Package ftl implements a page-mapping flash translation layer over the
+// nand array model: logical-to-physical mapping, out-of-place updates, a
+// free-block pool, foreground and background garbage collection with
+// pluggable victim selection (including the paper's SIP-aware filtering),
+// wear-aware block allocation with threshold wear leveling, and the
+// write-amplification accounting the paper's lifetime results rest on.
+package ftl
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"jitgc/internal/nand"
+)
+
+// Errors returned by FTL operations.
+var (
+	ErrBadLPN       = errors.New("ftl: LPN out of user capacity")
+	ErrNoFreeBlocks = errors.New("ftl: no free blocks and no reclaimable victim")
+	ErrCorruption   = errors.New("ftl: stored payload does not match its logical page")
+)
+
+const unmapped = int64(-1)
+
+// Config parameterizes an FTL instance.
+type Config struct {
+	// Geometry and Timing describe the underlying NAND array.
+	Geometry nand.Geometry
+	Timing   nand.Timing
+	// OPRatio is the over-provisioning capacity C_OP as a fraction of user
+	// capacity. The SM843T in the paper uses 7%.
+	OPRatio float64
+	// FreeBlockReserve is the number of free blocks the FTL refuses to
+	// hand to host writes: when the pool shrinks to this level a write
+	// triggers foreground GC. At least 2 (one host active block, one GC
+	// destination block must always be allocatable).
+	FreeBlockReserve int
+	// Selector chooses GC victim blocks. Defaults to Greedy.
+	Selector VictimSelector
+	// WearThreshold is the max-min erase-count gap that triggers static
+	// wear leveling (forcing the least-erased full block to be recycled).
+	// 0 disables it.
+	WearThreshold int64
+	// EnduranceLimit is the per-block erase budget; blocks erased past it
+	// retire and drop out of circulation, shrinking the device until it
+	// can no longer serve writes. 0 means unlimited (the default for
+	// performance experiments; lifetime experiments set it).
+	EnduranceLimit int64
+}
+
+// DefaultConfig returns a configuration with the paper's 7% OP ratio over
+// the default scaled geometry.
+func DefaultConfig() Config {
+	return Config{
+		Geometry:         nand.DefaultGeometry(),
+		Timing:           nand.DefaultTimingMLC(),
+		OPRatio:          0.07,
+		FreeBlockReserve: 2,
+		Selector:         Greedy{},
+		WearThreshold:    64,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	if err := c.Timing.Validate(); err != nil {
+		return err
+	}
+	if c.OPRatio <= 0 || c.OPRatio >= 1 {
+		return fmt.Errorf("ftl: OP ratio %v outside (0,1)", c.OPRatio)
+	}
+	if c.FreeBlockReserve < 2 {
+		return fmt.Errorf("ftl: free block reserve %d < 2", c.FreeBlockReserve)
+	}
+	if c.WearThreshold < 0 {
+		return fmt.Errorf("ftl: negative wear threshold %d", c.WearThreshold)
+	}
+	return nil
+}
+
+// Stats counts FTL activity. Page counts are in physical pages.
+type Stats struct {
+	// HostPrograms counts pages programmed on behalf of host writes
+	// (buffered flushes and direct writes alike).
+	HostPrograms int64
+	// GCMigrations counts valid pages copied by garbage collection.
+	GCMigrations int64
+	// WastedMigrations counts migrated pages that were on the SIP list —
+	// copies of data about to be overwritten, i.e. useless work.
+	WastedMigrations int64
+	// Erases counts block erases.
+	Erases int64
+	// Trims counts pages discarded by host TRIM commands.
+	Trims int64
+	// FGCInvocations counts foreground GC episodes (a host write stalled).
+	FGCInvocations int64
+	// BGCCollections counts victim blocks collected in background.
+	BGCCollections int64
+	// FGCTime and BGCTime accumulate device time spent in each mode.
+	FGCTime time.Duration
+	BGCTime time.Duration
+	// VictimSelections counts GC victim choices; FilteredSelections counts
+	// those where SIP filtering rejected the plain-greedy winner (paper
+	// Table 3).
+	VictimSelections   int64
+	FilteredSelections int64
+}
+
+// WAF returns the write amplification factor: total NAND page programs per
+// host page program. 1.0 means no GC overhead yet.
+func (s Stats) WAF() float64 {
+	if s.HostPrograms == 0 {
+		return 1
+	}
+	return float64(s.HostPrograms+s.GCMigrations) / float64(s.HostPrograms)
+}
+
+// FTL is a page-mapping flash translation layer. It is not safe for
+// concurrent use.
+type FTL struct {
+	cfg Config
+	dev *nand.Array
+
+	userPages int64   // exposed logical capacity in pages
+	l2p       []int64 // LPN → PPN, unmapped = -1
+	p2l       []int64 // PPN → LPN, unmapped = -1
+
+	freeBlocks []int // pool of erased blocks
+	hostActive int   // block receiving host writes, -1 if none
+	gcActive   int   // block receiving GC migrations, -1 if none
+
+	lastInvalidate []time.Duration // per block, for cost-benefit selection
+	sip            map[int64]struct{}
+	sipPerBlock    []int // count of valid SIP pages per block
+
+	now             time.Duration // advanced by callers via SetNow for age bookkeeping
+	stats           Stats
+	lastWLSelection int64  // selection count at the last wear-leveling pick
+	writeSeq        uint64 // monotone version counter for payload tokens
+}
+
+// Payload tokens carry the logical page and a version so reads can verify
+// end-to-end that GC never corrupted or aliased data.
+const tokenVersionBits = 24
+
+func token(lpn int64, seq uint64) uint64 {
+	return uint64(lpn)<<tokenVersionBits | (seq & (1<<tokenVersionBits - 1))
+}
+
+func tokenLPN(tok uint64) int64 { return int64(tok >> tokenVersionBits) }
+
+// New builds an FTL over a fresh NAND array.
+func New(cfg Config) (*FTL, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Selector == nil {
+		cfg.Selector = Greedy{}
+	}
+	dev, err := nand.NewArray(cfg.Geometry, cfg.Timing)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.EnduranceLimit > 0 {
+		dev.SetEnduranceLimit(cfg.EnduranceLimit)
+	}
+	geo := cfg.Geometry
+	total := int64(geo.TotalPages())
+	user := int64(float64(total) / (1 + cfg.OPRatio))
+	// The user capacity must leave at least the reserve plus active blocks
+	// worth of OP space.
+	minOP := int64(cfg.FreeBlockReserve+2) * int64(geo.PagesPerBlock)
+	if total-user < minOP {
+		return nil, fmt.Errorf("ftl: OP ratio %v leaves %d OP pages, need ≥ %d", cfg.OPRatio, total-user, minOP)
+	}
+	f := &FTL{
+		cfg:            cfg,
+		dev:            dev,
+		userPages:      user,
+		l2p:            make([]int64, user),
+		p2l:            make([]int64, total),
+		hostActive:     -1,
+		gcActive:       -1,
+		lastInvalidate: make([]time.Duration, geo.TotalBlocks()),
+		sip:            make(map[int64]struct{}),
+		sipPerBlock:    make([]int, geo.TotalBlocks()),
+	}
+	for i := range f.l2p {
+		f.l2p[i] = unmapped
+	}
+	for i := range f.p2l {
+		f.p2l[i] = unmapped
+	}
+	f.freeBlocks = make([]int, geo.TotalBlocks())
+	for i := range f.freeBlocks {
+		f.freeBlocks[i] = i
+	}
+	return f, nil
+}
+
+// Config returns the FTL configuration.
+func (f *FTL) Config() Config { return f.cfg }
+
+// Device returns the underlying NAND array (read-only use intended).
+func (f *FTL) Device() *nand.Array { return f.dev }
+
+// Stats returns a snapshot of the activity counters.
+func (f *FTL) Stats() Stats { return f.stats }
+
+// UserPages returns the logical capacity in pages.
+func (f *FTL) UserPages() int64 { return f.userPages }
+
+// OPPages returns the over-provisioning capacity in pages.
+func (f *FTL) OPPages() int64 { return int64(f.cfg.Geometry.TotalPages()) - f.userPages }
+
+// OPBytes returns the over-provisioning capacity C_OP in bytes.
+func (f *FTL) OPBytes() int64 { return f.OPPages() * int64(f.cfg.Geometry.PageSize) }
+
+// PageSize returns the page size in bytes.
+func (f *FTL) PageSize() int { return f.cfg.Geometry.PageSize }
+
+// SetSelector replaces the GC victim selector (e.g. to enable SIP-aware
+// filtering once a JIT-GC policy is attached).
+func (f *FTL) SetSelector(s VictimSelector) {
+	if s != nil {
+		f.cfg.Selector = s
+	}
+}
+
+// SetNow advances the FTL's notion of time, used only for victim-age
+// bookkeeping (cost-benefit selection). The simulator calls it as the clock
+// advances.
+func (f *FTL) SetNow(t time.Duration) { f.now = t }
+
+// FreePages returns the number of immediately programmable pages: whole
+// free blocks plus the tails of the active blocks.
+func (f *FTL) FreePages() int64 {
+	ppb := f.cfg.Geometry.PagesPerBlock
+	n := int64(len(f.freeBlocks)) * int64(ppb)
+	if f.hostActive >= 0 {
+		n += int64(ppb - f.dev.WritePtr(f.hostActive))
+	}
+	if f.gcActive >= 0 {
+		n += int64(ppb - f.dev.WritePtr(f.gcActive))
+	}
+	return n
+}
+
+// WritablePages returns the pages the host can write before foreground GC
+// becomes unavoidable: FreePages minus the reserve the FTL keeps for GC to
+// make progress. This is the paper's C_free as seen by BGC policies.
+func (f *FTL) WritablePages() int64 {
+	n := f.FreePages() - int64(f.cfg.FreeBlockReserve)*int64(f.cfg.Geometry.PagesPerBlock)
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// WritableBytes returns WritablePages in bytes (the paper's C_free).
+func (f *FTL) WritableBytes() int64 {
+	return f.WritablePages() * int64(f.cfg.Geometry.PageSize)
+}
+
+// MappedPPN returns the physical page currently mapped to lpn, or -1.
+func (f *FTL) MappedPPN(lpn int64) int64 {
+	if lpn < 0 || lpn >= f.userPages {
+		return unmapped
+	}
+	return f.l2p[lpn]
+}
+
+// Read services a host read of one logical page and returns the device time
+// consumed. Reading an unmapped page costs a page read (the device returns
+// zeroes) but is counted separately.
+func (f *FTL) Read(lpn int64) (time.Duration, error) {
+	if lpn < 0 || lpn >= f.userPages {
+		return 0, fmt.Errorf("%w: %d (capacity %d)", ErrBadLPN, lpn, f.userPages)
+	}
+	ppn := f.l2p[lpn]
+	if ppn == unmapped {
+		// Unwritten data: controllers return zeroes without touching the
+		// array; charge only transfer time.
+		return f.cfg.Timing.Transfer, nil
+	}
+	tok, d, err := f.dev.ReadPage(nand.AddrOfPPN(ppn, f.cfg.Geometry.PagesPerBlock))
+	if err != nil {
+		return d, err
+	}
+	if tokenLPN(tok) != lpn {
+		return d, fmt.Errorf("%w: lpn %d holds payload of lpn %d", ErrCorruption, lpn, tokenLPN(tok))
+	}
+	return d, nil
+}
+
+// Write services a host write of one logical page: out-of-place program of
+// a fresh page, invalidation of the old mapping, and — if the free pool has
+// hit the reserve — a synchronous foreground GC episode first.
+//
+// The two durations are reported separately because they parallelize
+// differently: page programs stripe across channels, while a foreground GC
+// episode serializes the waiting host write behind the victim's own
+// channel (migrations and erase on one die), so the simulator charges fgc
+// at full serial cost.
+func (f *FTL) Write(lpn int64) (service, fgc time.Duration, err error) {
+	if lpn < 0 || lpn >= f.userPages {
+		return 0, 0, fmt.Errorf("%w: %d (capacity %d)", ErrBadLPN, lpn, f.userPages)
+	}
+
+	// Foreground GC: reclaim until a host page is allocatable.
+	for !f.canAllocateHostPage() {
+		d, cerr := f.collectOnce(true)
+		if cerr != nil {
+			return 0, fgc, cerr
+		}
+		fgc += d
+	}
+	if fgc > 0 {
+		f.stats.FGCInvocations++
+		f.stats.FGCTime += fgc
+	}
+
+	addr, err := f.allocPage(false)
+	if err != nil {
+		return 0, fgc, err
+	}
+	f.writeSeq++
+	service, err = f.dev.ProgramPage(addr, token(lpn, f.writeSeq))
+	if err != nil {
+		return service, fgc, err
+	}
+
+	f.invalidateMapping(lpn)
+	ppb := f.cfg.Geometry.PagesPerBlock
+	ppn := addr.PPN(ppb)
+	f.l2p[lpn] = ppn
+	f.p2l[ppn] = lpn
+	if _, ok := f.sip[lpn]; ok {
+		f.sipPerBlock[addr.Block]++
+	}
+	f.stats.HostPrograms++
+	return service, fgc, nil
+}
+
+// Trim discards a logical page (host TRIM/UNMAP): the mapping is cleared
+// and the physical copy invalidated without any new write, so subsequent
+// GC of its block is cheaper. Trimming an unmapped page is a no-op. Trim
+// is a metadata operation and consumes no device time.
+func (f *FTL) Trim(lpn int64) error {
+	if lpn < 0 || lpn >= f.userPages {
+		return fmt.Errorf("%w: %d (capacity %d)", ErrBadLPN, lpn, f.userPages)
+	}
+	if f.l2p[lpn] != unmapped {
+		f.invalidateMapping(lpn)
+		f.stats.Trims++
+	}
+	return nil
+}
+
+// invalidateMapping clears lpn's old physical page, if any.
+func (f *FTL) invalidateMapping(lpn int64) {
+	old := f.l2p[lpn]
+	if old == unmapped {
+		return
+	}
+	ppb := f.cfg.Geometry.PagesPerBlock
+	addr := nand.AddrOfPPN(old, ppb)
+	if err := f.dev.InvalidatePage(addr); err != nil {
+		// A mapping pointing at a non-valid page is an FTL bug; fail loudly.
+		panic(fmt.Sprintf("ftl: corrupt mapping for lpn %d: %v", lpn, err))
+	}
+	f.p2l[old] = unmapped
+	f.l2p[lpn] = unmapped
+	f.lastInvalidate[addr.Block] = f.now
+	if _, ok := f.sip[lpn]; ok {
+		if f.sipPerBlock[addr.Block] > 0 {
+			f.sipPerBlock[addr.Block]--
+		}
+	}
+}
+
+// canAllocateHostPage reports whether a host page can be allocated without
+// dipping into the GC reserve.
+func (f *FTL) canAllocateHostPage() bool {
+	if f.hostActive >= 0 && f.dev.WritePtr(f.hostActive) < f.cfg.Geometry.PagesPerBlock {
+		return true
+	}
+	return len(f.freeBlocks) > f.cfg.FreeBlockReserve
+}
+
+// allocPage returns the next physical page to program, opening a new active
+// block from the free pool when needed. gc selects the GC destination
+// stream (cold data) instead of the host stream (hot data).
+func (f *FTL) allocPage(gc bool) (nand.PageAddr, error) {
+	active := &f.hostActive
+	if gc {
+		active = &f.gcActive
+	}
+	ppb := f.cfg.Geometry.PagesPerBlock
+	if *active < 0 || f.dev.WritePtr(*active) >= ppb {
+		blk, err := f.takeFreeBlock(gc)
+		if err != nil {
+			return nand.PageAddr{}, err
+		}
+		*active = blk
+	}
+	return nand.PageAddr{Block: *active, Page: f.dev.WritePtr(*active)}, nil
+}
+
+// takeFreeBlock removes and returns a block from the free pool, choosing
+// the least-erased block (wear-aware allocation). GC destinations may dig
+// into the reserve; host allocations may not.
+func (f *FTL) takeFreeBlock(gc bool) (int, error) {
+	if len(f.freeBlocks) == 0 {
+		return 0, ErrNoFreeBlocks
+	}
+	if !gc && len(f.freeBlocks) <= f.cfg.FreeBlockReserve {
+		return 0, fmt.Errorf("%w: pool at reserve (%d)", ErrNoFreeBlocks, len(f.freeBlocks))
+	}
+	best := -1
+	for i, b := range f.freeBlocks {
+		if f.dev.Retired(b) {
+			continue
+		}
+		if best < 0 || f.dev.EraseCount(b) < f.dev.EraseCount(f.freeBlocks[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("%w: all pooled blocks retired", ErrNoFreeBlocks)
+	}
+	blk := f.freeBlocks[best]
+	f.freeBlocks[best] = f.freeBlocks[len(f.freeBlocks)-1]
+	f.freeBlocks = f.freeBlocks[:len(f.freeBlocks)-1]
+	return blk, nil
+}

@@ -1,0 +1,472 @@
+package ftl
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"jitgc/internal/nand"
+)
+
+// BlockInfo describes a GC victim candidate for selectors.
+type BlockInfo struct {
+	// Index is the flat block index.
+	Index int
+	// Valid is the number of valid pages that would need migration.
+	Valid int
+	// SIPValid is how many of those valid pages are on the current SIP
+	// list, i.e. will shortly be invalidated by a page-cache flush.
+	SIPValid int
+	// EraseCount is the block's wear.
+	EraseCount int64
+	// LastInvalidate is when a page of the block last became invalid.
+	LastInvalidate time.Duration
+	// Age is how long ago that was (the "age" input of cost-benefit
+	// selection).
+	Age time.Duration
+	// PagesPerBlock is the block capacity, for utilization math.
+	PagesPerBlock int
+}
+
+// Utilization returns the valid-page fraction u of the block.
+func (b BlockInfo) Utilization() float64 {
+	if b.PagesPerBlock == 0 {
+		return 0
+	}
+	return float64(b.Valid) / float64(b.PagesPerBlock)
+}
+
+// VictimSelector picks a GC victim among candidate blocks. Selectors must
+// be deterministic: the simulator relies on reproducible runs.
+type VictimSelector interface {
+	// Name identifies the selector in reports.
+	Name() string
+	// Select returns the position in cands of the chosen victim.
+	// cands is never empty.
+	Select(cands []BlockInfo) int
+}
+
+// Greedy selects the block with the fewest valid pages — the classical
+// minimum-migration victim policy. Ties break toward the lower block index
+// for determinism.
+type Greedy struct{}
+
+// Name implements VictimSelector.
+func (Greedy) Name() string { return "greedy" }
+
+// Select implements VictimSelector.
+func (Greedy) Select(cands []BlockInfo) int {
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Valid < cands[best].Valid ||
+			(cands[i].Valid == cands[best].Valid && cands[i].Index < cands[best].Index) {
+			best = i
+		}
+	}
+	return best
+}
+
+// CostBenefit selects by the classical cost-benefit score
+// age × (1−u)/(2u): prefer old blocks with low utilization. Fully invalid
+// blocks (u = 0) are always taken first.
+type CostBenefit struct{}
+
+// Name implements VictimSelector.
+func (CostBenefit) Name() string { return "cost-benefit" }
+
+// Select implements VictimSelector.
+func (CostBenefit) Select(cands []BlockInfo) int {
+	best, bestScore := 0, -1.0
+	for i, c := range cands {
+		if c.Valid == 0 {
+			return i
+		}
+		u := c.Utilization()
+		score := float64(c.Age) * (1 - u) / (2 * u)
+		if score > bestScore || (score == bestScore && c.Index < cands[best].Index) {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// SIPGreedy is the paper's extended victim selection: greedy, modified to
+// avoid blocks holding soon-to-be-invalidated pages, because migrating a
+// SIP page is useless work — it is about to be rewritten by a page-cache
+// flush anyway.
+//
+// Avoidance is bounded: among candidates within SlackPages extra
+// migrations of the plain greedy choice, the selector picks the one with
+// the fewest SIP pages; unbounded avoidance would itself inflate write
+// amplification past what it saves. MaxSIPFraction sets the taint level at
+// which a block is worth avoiding at all — below it the greedy choice
+// stands untouched.
+type SIPGreedy struct {
+	// MaxSIPFraction is the SIPValid/Valid ratio below which a block is
+	// not considered tainted. 0 treats any block with a SIP page as worth
+	// avoiding.
+	MaxSIPFraction float64
+	// SlackPages bounds how many extra valid-page migrations an
+	// alternative choice may cost relative to plain greedy (default 8
+	// when zero).
+	SlackPages int
+}
+
+// Name implements VictimSelector.
+func (SIPGreedy) Name() string { return "sip-greedy" }
+
+// Select implements VictimSelector.
+func (s SIPGreedy) Select(cands []BlockInfo) int {
+	slack := s.SlackPages
+	if slack == 0 {
+		slack = 8
+	}
+	greedy := Greedy{}.Select(cands)
+	g := cands[greedy]
+	if g.Valid == 0 || float64(g.SIPValid)/float64(g.Valid) <= s.MaxSIPFraction {
+		return greedy // not tainted enough to pay anything for
+	}
+	best := greedy
+	for i, c := range cands {
+		if c.Valid > g.Valid+slack {
+			continue
+		}
+		b := cands[best]
+		if c.SIPValid < b.SIPValid ||
+			(c.SIPValid == b.SIPValid && c.Valid < b.Valid) ||
+			(c.SIPValid == b.SIPValid && c.Valid == b.Valid && c.Index < b.Index) {
+			best = i
+		}
+	}
+	return best
+}
+
+// SetSIPList installs the current soon-to-be-invalidated page list from the
+// host (paper §3.1/§3.3). It replaces any previous list and recomputes the
+// per-block SIP counters used by SIP-aware victim selection and the
+// wasted-migration metric.
+func (f *FTL) SetSIPList(lpns []int64) {
+	for i := range f.sipPerBlock {
+		f.sipPerBlock[i] = 0
+	}
+	f.sip = make(map[int64]struct{}, len(lpns))
+	ppb := f.cfg.Geometry.PagesPerBlock
+	for _, lpn := range lpns {
+		if lpn < 0 || lpn >= f.userPages {
+			continue
+		}
+		f.sip[lpn] = struct{}{}
+		if ppn := f.l2p[lpn]; ppn != unmapped {
+			f.sipPerBlock[int(ppn)/ppb]++
+		}
+	}
+}
+
+// SIPListSize returns the number of LPNs on the current SIP list.
+func (f *FTL) SIPListSize() int { return len(f.sip) }
+
+// victimCandidates lists blocks eligible for collection: fully written,
+// not free, not an active block. Blocks still being filled are excluded —
+// erasing them would waste unprogrammed pages.
+func (f *FTL) victimCandidates() []BlockInfo {
+	geo := f.cfg.Geometry
+	ppb := geo.PagesPerBlock
+	free := make(map[int]bool, len(f.freeBlocks))
+	for _, b := range f.freeBlocks {
+		free[b] = true
+	}
+	var cands []BlockInfo
+	for b := 0; b < geo.TotalBlocks(); b++ {
+		if free[b] || b == f.hostActive || b == f.gcActive || f.dev.Retired(b) {
+			continue
+		}
+		if f.dev.WritePtr(b) < ppb {
+			continue
+		}
+		if f.dev.ValidCount(b) >= ppb {
+			continue // nothing reclaimable
+		}
+		age := f.now - f.lastInvalidate[b]
+		if age < 0 {
+			age = 0
+		}
+		cands = append(cands, BlockInfo{
+			Index:          b,
+			Valid:          f.dev.ValidCount(b),
+			SIPValid:       f.sipPerBlock[b],
+			EraseCount:     f.dev.EraseCount(b),
+			LastInvalidate: f.lastInvalidate[b],
+			Age:            age,
+			PagesPerBlock:  ppb,
+		})
+	}
+	return cands
+}
+
+// collectOnce collects one victim block: migrate its valid pages to the GC
+// destination stream, erase it, and return it to the free pool. foreground
+// tags the episode for accounting. It returns the device time consumed.
+func (f *FTL) collectOnce(foreground bool) (time.Duration, error) {
+	var victim int
+	if wl, ok := f.wearVictim(); ok {
+		victim = wl
+		f.stats.VictimSelections++
+	} else {
+		cands := f.victimCandidates()
+		if len(cands) == 0 {
+			return 0, fmt.Errorf("%w: %d free blocks, no candidates", ErrNoFreeBlocks, len(f.freeBlocks))
+		}
+		victim = cands[f.selectVictim(cands, foreground)].Index
+	}
+
+	var total time.Duration
+	ppb := f.cfg.Geometry.PagesPerBlock
+	for page := 0; page < ppb; page++ {
+		addr := nand.PageAddr{Block: victim, Page: page}
+		st, err := f.dev.PageStateAt(addr)
+		if err != nil {
+			return total, err
+		}
+		if st != nand.PageValid {
+			continue
+		}
+		d, err := f.migratePage(addr)
+		if err != nil {
+			return total, err
+		}
+		total += d
+	}
+
+	d, err := f.dev.EraseBlock(victim)
+	if err != nil {
+		if errors.Is(err, nand.ErrWornOut) {
+			// The block retired at its erase limit: its valid data was
+			// already migrated, so it simply drops out of circulation and
+			// the device shrinks. Collection achieved no free space.
+			return total, nil
+		}
+		return total, err
+	}
+	total += d
+	f.stats.Erases++
+	f.freeBlocks = append(f.freeBlocks, victim)
+
+	if !foreground {
+		f.stats.BGCCollections++
+		f.stats.BGCTime += total
+	}
+	return total, nil
+}
+
+// wlCooldown bounds how often static wear leveling may hijack victim
+// selection: at most one in wlCooldown collections, so leveling cannot
+// starve space reclamation (wear-leveling victims may be fully valid and
+// free no space).
+const wlCooldown = 8
+
+// wearVictim returns the block static wear leveling wants recycled, if the
+// wear spread exceeds the threshold and the cooldown has elapsed. Unlike
+// regular victim selection it considers fully-valid blocks — cold data
+// parks in them indefinitely and only leveling ever moves it.
+func (f *FTL) wearVictim() (int, bool) {
+	if f.cfg.WearThreshold == 0 {
+		return 0, false
+	}
+	if f.stats.VictimSelections-f.lastWLSelection < wlCooldown {
+		return 0, false
+	}
+	minE, maxE, _ := f.dev.WearStats()
+	if maxE-minE <= f.cfg.WearThreshold {
+		return 0, false
+	}
+	geo := f.cfg.Geometry
+	free := make(map[int]bool, len(f.freeBlocks))
+	for _, b := range f.freeBlocks {
+		free[b] = true
+	}
+	best, found := 0, false
+	for b := 0; b < geo.TotalBlocks(); b++ {
+		if free[b] || b == f.hostActive || b == f.gcActive || f.dev.Retired(b) {
+			continue
+		}
+		if f.dev.WritePtr(b) < geo.PagesPerBlock {
+			continue
+		}
+		if !found || f.dev.EraseCount(b) < f.dev.EraseCount(best) {
+			best, found = b, true
+		}
+	}
+	if found {
+		f.lastWLSelection = f.stats.VictimSelections
+	}
+	return best, found
+}
+
+// selectVictim applies the configured selector, tracking the Table 3
+// filtered-selection metric. Foreground collections always use plain
+// greedy: a stalled host write needs space at minimum cost, and the
+// paper's SIP filtering applies to background GC only.
+func (f *FTL) selectVictim(cands []BlockInfo, foreground bool) int {
+	f.stats.VictimSelections++
+	if foreground {
+		return Greedy{}.Select(cands)
+	}
+
+	choice := f.cfg.Selector.Select(cands)
+	if choice < 0 || choice >= len(cands) {
+		choice = Greedy{}.Select(cands)
+	}
+	// Table 3 counts selections where SIP filtering paid migration cost to
+	// avoid a tainted block (cost-free tie swaps are not "filtering").
+	greedy := (Greedy{}).Select(cands)
+	if greedy != choice &&
+		cands[greedy].SIPValid > cands[choice].SIPValid &&
+		cands[choice].Valid > cands[greedy].Valid {
+		f.stats.FilteredSelections++
+	}
+	return choice
+}
+
+// migratePage copies one valid page (payload included) to the GC
+// destination stream.
+func (f *FTL) migratePage(src nand.PageAddr) (time.Duration, error) {
+	var total time.Duration
+	payload, d, err := f.dev.ReadPage(src)
+	if err != nil {
+		return total, err
+	}
+	total += d
+
+	dst, err := f.allocPage(true)
+	if err != nil {
+		return total, err
+	}
+	d, err = f.dev.ProgramPage(dst, payload)
+	if err != nil {
+		return total, err
+	}
+	total += d
+
+	ppb := f.cfg.Geometry.PagesPerBlock
+	srcPPN := src.PPN(ppb)
+	lpn := f.p2l[srcPPN]
+	if lpn == unmapped {
+		panic(fmt.Sprintf("ftl: migrating valid page %v with no reverse mapping", src))
+	}
+	if err := f.dev.InvalidatePage(src); err != nil {
+		return total, err
+	}
+	dstPPN := dst.PPN(ppb)
+	f.l2p[lpn] = dstPPN
+	f.p2l[dstPPN] = lpn
+	f.p2l[srcPPN] = unmapped
+
+	f.stats.GCMigrations++
+	if _, ok := f.sip[lpn]; ok {
+		f.stats.WastedMigrations++
+		// SIP counter moves with the page: decrement source block,
+		// increment destination block.
+		f.sipPerBlock[src.Block]--
+		f.sipPerBlock[dst.Block]++
+	}
+	return total, nil
+}
+
+// CollectBackgroundOnce collects a single victim block in background mode,
+// returning the net free pages gained and the device time consumed. The
+// simulator calls it chunk-by-chunk so background GC can be interleaved
+// with (and effectively preempted by) arriving host requests at victim
+// granularity.
+func (f *FTL) CollectBackgroundOnce() (freedPages int64, elapsed time.Duration, err error) {
+	before := f.FreePages()
+	elapsed, err = f.collectOnce(false)
+	return f.FreePages() - before, elapsed, err
+}
+
+// ResetStats zeroes the activity counters (e.g. after preconditioning) while
+// preserving block wear state.
+func (f *FTL) ResetStats() { f.stats = Stats{} }
+
+// ReclaimResult reports what a background reclaim accomplished.
+type ReclaimResult struct {
+	// FreedPages is the net gain in free pages.
+	FreedPages int64
+	// CollectedBlocks is how many victims were erased.
+	CollectedBlocks int
+	// Elapsed is the device time consumed.
+	Elapsed time.Duration
+}
+
+// ReclaimBackground runs background GC until at least targetPages of
+// additional free space exist (or no further victim is collectible) and at
+// most maxTime of device time is spent (0 = unlimited). This is the
+// operation BGC policies schedule into idle periods.
+func (f *FTL) ReclaimBackground(targetPages int64, maxTime time.Duration) (ReclaimResult, error) {
+	var res ReclaimResult
+	start := f.FreePages()
+	for f.FreePages()-start < targetPages {
+		if maxTime > 0 && res.Elapsed >= maxTime {
+			break
+		}
+		before := f.FreePages()
+		d, err := f.collectOnce(false)
+		if err != nil {
+			// Out of victims: report what was achieved.
+			res.FreedPages = f.FreePages() - start
+			return res, nil
+		}
+		res.Elapsed += d
+		res.CollectedBlocks++
+		if f.FreePages() <= before {
+			// No forward progress (victim was full of valid pages that
+			// simply moved); stop rather than loop forever.
+			break
+		}
+	}
+	res.FreedPages = f.FreePages() - start
+	return res, nil
+}
+
+// GCBandwidth estimates the background GC reclaim bandwidth Bgc in
+// bytes/second from NAND timings and current occupancy: the cost of
+// collecting an average victim over the pages it frees.
+func (f *FTL) GCBandwidth() float64 {
+	geo := f.cfg.Geometry
+	ppb := float64(geo.PagesPerBlock)
+	// Average utilization of candidate blocks approximates migration cost.
+	cands := f.victimCandidates()
+	u := 0.5
+	if len(cands) > 0 {
+		var valid int
+		best := ppb
+		for _, c := range cands {
+			valid += c.Valid
+			if v := float64(c.Valid); v < best {
+				best = v
+			}
+		}
+		// Greedy collects near the cheap end; weight the minimum and the
+		// mean to approximate what the selector will actually pick.
+		mean := float64(valid) / float64(len(cands)) / ppb
+		u = (best/ppb + mean) / 2
+	}
+	if u > 0.95 {
+		u = 0.95
+	}
+	migrate := f.cfg.Timing.MigrateCost().Seconds() * u * ppb
+	erase := f.cfg.Timing.EraseBlock.Seconds()
+	freed := (1 - u) * ppb * float64(geo.PageSize)
+	perBlock := migrate + erase
+	if perBlock <= 0 {
+		return 0
+	}
+	return freed / perBlock * float64(geo.Parallelism())
+}
+
+// WriteBandwidth estimates the host write bandwidth Bw in bytes/second from
+// NAND program timing and channel parallelism.
+func (f *FTL) WriteBandwidth() float64 {
+	geo := f.cfg.Geometry
+	perPage := f.cfg.Timing.ProgramCost().Seconds()
+	return float64(geo.PageSize) / perPage * float64(geo.Parallelism())
+}

@@ -1,0 +1,164 @@
+package ftl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"jitgc/internal/nand"
+)
+
+// Mapping-table persistence. Real FTLs periodically checkpoint their
+// logical-to-physical mapping to survive power cycles; this file implements
+// the equivalent for the simulated FTL: Snapshot serializes the mapping and
+// enough block state to rebuild an identical FTL over an identical NAND
+// image, and Restore verifies the snapshot against the device it is loaded
+// onto. The format is a little-endian binary stream with a magic header.
+
+const (
+	snapshotMagic   = uint32(0x4A49_5447) // "JITG"
+	snapshotVersion = uint32(2)
+)
+
+// Snapshot writes the FTL's logical state (mapping, active blocks, free
+// pool, write sequence) to w. The NAND array contents are not included:
+// a snapshot is only meaningful together with the array it describes, the
+// way an FTL checkpoint is only meaningful on its own flash.
+func (f *FTL) Snapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+
+	writeU32 := func(v uint32) error { return binary.Write(bw, le, v) }
+	writeI64 := func(v int64) error { return binary.Write(bw, le, v) }
+
+	if err := writeU32(snapshotMagic); err != nil {
+		return err
+	}
+	if err := writeU32(snapshotVersion); err != nil {
+		return err
+	}
+	geo := f.cfg.Geometry
+	for _, v := range []int64{
+		int64(geo.TotalBlocks()), int64(geo.PagesPerBlock), f.userPages,
+		int64(f.hostActive), int64(f.gcActive), int64(f.writeSeq),
+		int64(len(f.freeBlocks)),
+	} {
+		if err := writeI64(v); err != nil {
+			return err
+		}
+	}
+	for _, b := range f.freeBlocks {
+		if err := writeI64(int64(b)); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, le, f.l2p); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Restore loads a snapshot written by Snapshot into f, which must be an FTL
+// over a NAND array with the same geometry and page states (typically the
+// very array the snapshot was taken from, after a simulated power cycle).
+// The rebuilt reverse mapping is cross-checked against the device's
+// valid-page states; any inconsistency fails the restore.
+func (f *FTL) Restore(r io.Reader) error {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+
+	var magic, version uint32
+	if err := binary.Read(br, le, &magic); err != nil {
+		return fmt.Errorf("ftl: snapshot header: %w", err)
+	}
+	if magic != snapshotMagic {
+		return fmt.Errorf("ftl: bad snapshot magic %#x", magic)
+	}
+	if err := binary.Read(br, le, &version); err != nil {
+		return err
+	}
+	if version != snapshotVersion {
+		return fmt.Errorf("ftl: unsupported snapshot version %d", version)
+	}
+
+	readI64 := func() (int64, error) {
+		var v int64
+		err := binary.Read(br, le, &v)
+		return v, err
+	}
+	vals := make([]int64, 7)
+	for i := range vals {
+		v, err := readI64()
+		if err != nil {
+			return fmt.Errorf("ftl: snapshot field %d: %w", i, err)
+		}
+		vals[i] = v
+	}
+	geo := f.cfg.Geometry
+	if vals[0] != int64(geo.TotalBlocks()) || vals[1] != int64(geo.PagesPerBlock) || vals[2] != f.userPages {
+		return fmt.Errorf("ftl: snapshot geometry %d/%d/%d does not match device %d/%d/%d",
+			vals[0], vals[1], vals[2], geo.TotalBlocks(), geo.PagesPerBlock, f.userPages)
+	}
+	hostActive, gcActive := int(vals[3]), int(vals[4])
+	writeSeq := uint64(vals[5])
+	nFree := vals[6]
+	if nFree < 0 || nFree > int64(geo.TotalBlocks()) {
+		return fmt.Errorf("ftl: snapshot free pool size %d", nFree)
+	}
+	freeBlocks := make([]int, nFree)
+	for i := range freeBlocks {
+		v, err := readI64()
+		if err != nil {
+			return err
+		}
+		if v < 0 || v >= int64(geo.TotalBlocks()) {
+			return fmt.Errorf("ftl: snapshot free block %d out of range", v)
+		}
+		freeBlocks[i] = int(v)
+	}
+	l2p := make([]int64, f.userPages)
+	if err := binary.Read(br, le, l2p); err != nil {
+		return fmt.Errorf("ftl: snapshot mapping: %w", err)
+	}
+
+	// Rebuild the reverse mapping and cross-check against device state.
+	total := int64(geo.TotalPages())
+	p2l := make([]int64, total)
+	for i := range p2l {
+		p2l[i] = unmapped
+	}
+	ppb := geo.PagesPerBlock
+	for lpn, ppn := range l2p {
+		if ppn == unmapped {
+			continue
+		}
+		if ppn < 0 || ppn >= total {
+			return fmt.Errorf("ftl: snapshot maps lpn %d to bad ppn %d", lpn, ppn)
+		}
+		if p2l[ppn] != unmapped {
+			return fmt.Errorf("ftl: snapshot maps lpns %d and %d to ppn %d", p2l[ppn], lpn, ppn)
+		}
+		st, err := f.dev.PageStateAt(nand.AddrOfPPN(ppn, ppb))
+		if err != nil {
+			return err
+		}
+		if st != nand.PageValid {
+			return fmt.Errorf("ftl: snapshot maps lpn %d to non-valid page %d (%v)", lpn, ppn, st)
+		}
+		p2l[ppn] = int64(lpn)
+	}
+
+	f.l2p = l2p
+	f.p2l = p2l
+	f.freeBlocks = freeBlocks
+	f.hostActive = hostActive
+	f.gcActive = gcActive
+	f.writeSeq = writeSeq
+	// Host-side hint state does not survive a power cycle.
+	f.sip = make(map[int64]struct{})
+	for i := range f.sipPerBlock {
+		f.sipPerBlock[i] = 0
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package ftl
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// dirtyFTL builds an FTL with realistic mixed state: fill, overwrite, GC.
+func dirtyFTL(t *testing.T) *FTL {
+	t.Helper()
+	f := newSmall(t)
+	fillUser(t, f)
+	r := rand.New(rand.NewSource(41))
+	for i := 0; i < 500; i++ {
+		if _, _, err := f.Write(r.Int63n(f.UserPages())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.ReclaimBackground(32, 0); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	f := dirtyFTL(t)
+	var buf bytes.Buffer
+	if err := f.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+
+	// Simulate a power cycle: wipe the logical state, keep the NAND image.
+	for i := range f.l2p {
+		f.l2p[i] = unmapped
+	}
+	for i := range f.p2l {
+		f.p2l[i] = unmapped
+	}
+	f.freeBlocks = nil
+
+	if err := f.Restore(&buf); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	checkInvariants(t, f)
+
+	// The restored FTL keeps serving reads and writes correctly.
+	for lpn := int64(0); lpn < f.UserPages(); lpn += 17 {
+		if f.MappedPPN(lpn) == -1 {
+			continue
+		}
+		if _, err := f.Read(lpn); err != nil {
+			t.Fatalf("read lpn %d after restore: %v", lpn, err)
+		}
+	}
+	r := rand.New(rand.NewSource(43))
+	for i := 0; i < 300; i++ {
+		if _, _, err := f.Write(r.Int63n(f.UserPages())); err != nil {
+			t.Fatalf("write after restore: %v", err)
+		}
+	}
+	checkInvariants(t, f)
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	f := newSmall(t)
+	if err := f.Restore(strings.NewReader("not a snapshot")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if err := f.Restore(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestRestoreRejectsMismatchedDevice(t *testing.T) {
+	f := dirtyFTL(t)
+	var buf bytes.Buffer
+	if err := f.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh FTL has an erased array: the snapshot's mapped pages are not
+	// valid there, so the cross-check must fail.
+	fresh := newSmall(t)
+	if err := fresh.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("snapshot restored onto a device with different contents")
+	}
+}
+
+func TestRestoreRejectsDuplicateMappings(t *testing.T) {
+	f := dirtyFTL(t)
+	var buf bytes.Buffer
+	if err := f.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the snapshot: duplicate the first mapped entry's PPN into
+	// another slot. Mapping data starts after header+fields+freelist.
+	raw := buf.Bytes()
+	prefix := 8 + 7*8 + len(f.freeBlocks)*8
+	// Find two mapped entries and alias them.
+	var firstOff = -1
+	for i := prefix; i+8 <= len(raw); i += 8 {
+		neg := true
+		for b := 0; b < 8; b++ {
+			if raw[i+b] != 0xFF {
+				neg = false
+				break
+			}
+		}
+		if neg {
+			continue // unmapped (-1)
+		}
+		if firstOff < 0 {
+			firstOff = i
+			continue
+		}
+		copy(raw[i:i+8], raw[firstOff:firstOff+8])
+		break
+	}
+	fresh := dirtyFTL(t)
+	_ = fresh
+	if err := f.Restore(bytes.NewReader(raw)); err == nil {
+		t.Error("aliased snapshot accepted")
+	}
+}

@@ -1,0 +1,235 @@
+package histogram
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsBadParameters(t *testing.T) {
+	if _, err := New(0, 10); err == nil {
+		t.Error("New accepted zero bin width")
+	}
+	if _, err := New(-1, 10); err == nil {
+		t.Error("New accepted negative bin width")
+	}
+	if _, err := New(math.NaN(), 10); err == nil {
+		t.Error("New accepted NaN bin width")
+	}
+	if _, err := New(math.Inf(1), 10); err == nil {
+		t.Error("New accepted Inf bin width")
+	}
+	if _, err := New(1, 0); err == nil {
+		t.Error("New accepted zero bins")
+	}
+	if _, err := NewWindowed(1, 10, 0); err == nil {
+		t.Error("NewWindowed accepted zero window")
+	}
+}
+
+func TestPaperFig5Example(t *testing.T) {
+	// 10, 20, 20, 20, 80 MB written during the past five windows; the
+	// figure's phrasing is "less than 20 MB" for 80% of windows, so the
+	// 20 MB samples fall in the [10,20) bin.
+	h, err := New(10, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{10, 20, 20, 20, 80} {
+		h.Add(v - 0.001)
+	}
+	cdh := h.CDH()
+	if got := cdh[0]; math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("CDH[0] = %v, want 0.2", got)
+	}
+	if got := cdh[1]; math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("CDH[1] = %v, want 0.8", got)
+	}
+	if got := cdh[7]; math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("CDH[7] = %v, want 1.0", got)
+	}
+	if got := h.ValueAtPercentile(0.8); got != 20 {
+		t.Errorf("ValueAtPercentile(0.8) = %v, want 20 (the paper's reserve)", got)
+	}
+	if got := h.ValueAtPercentile(1.0); got != 80 {
+		t.Errorf("ValueAtPercentile(1.0) = %v, want 80", got)
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	h, _ := New(10, 4)
+	if got := h.ValueAtPercentile(0.8); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+	if got := h.Mean(); got != 0 {
+		t.Errorf("empty mean = %v, want 0", got)
+	}
+	for i, v := range h.CDH() {
+		if v != 0 {
+			t.Errorf("empty CDH[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestLastBinIsOpenEnded(t *testing.T) {
+	h, _ := New(10, 4) // bins [0,10) [10,20) [20,30) [30,∞)
+	h.Add(1e9)
+	bins := h.Bins()
+	if bins[3] != 1 {
+		t.Errorf("huge sample not in last bin: %v", bins)
+	}
+	if got := h.ValueAtPercentile(1.0); got != 40 {
+		t.Errorf("percentile of open-ended bin = %v, want 40 (last upper edge)", got)
+	}
+}
+
+func TestNegativeAndNaNSamples(t *testing.T) {
+	h, _ := New(10, 4)
+	h.Add(-5) // clamps into bin 0
+	h.Add(math.NaN())
+	if h.Count() != 1 {
+		t.Errorf("count = %d, want 1 (NaN dropped)", h.Count())
+	}
+	if h.Bins()[0] != 1 {
+		t.Errorf("negative sample not clamped into bin 0: %v", h.Bins())
+	}
+}
+
+func TestWindowedEviction(t *testing.T) {
+	h, err := NewWindowed(10, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(5)
+	h.Add(5)
+	h.Add(5)
+	h.Add(25) // evicts one 5
+	h.Add(25) // evicts another 5
+	if h.Count() != 3 {
+		t.Errorf("count = %d, want 3", h.Count())
+	}
+	bins := h.Bins()
+	if bins[0] != 1 || bins[2] != 2 {
+		t.Errorf("bins = %v, want [1 0 2 0]", bins)
+	}
+}
+
+func TestReset(t *testing.T) {
+	h, _ := NewWindowed(10, 4, 8)
+	h.Add(5)
+	h.Add(15)
+	h.Reset()
+	if h.Count() != 0 {
+		t.Errorf("count after reset = %d", h.Count())
+	}
+	h.Add(35)
+	if h.Count() != 1 || h.Bins()[3] != 1 {
+		t.Errorf("histogram unusable after reset: %v", h.Bins())
+	}
+}
+
+func TestMean(t *testing.T) {
+	h, _ := New(10, 4)
+	h.Add(3)  // midpoint 5
+	h.Add(17) // midpoint 15
+	if got := h.Mean(); math.Abs(got-10) > 1e-9 {
+		t.Errorf("mean = %v, want 10", got)
+	}
+}
+
+func TestStringSummarizesNonEmptyBins(t *testing.T) {
+	h, _ := New(10, 4)
+	h.Add(5)
+	h.Add(25)
+	s := h.String()
+	if !strings.Contains(s, "n=2") || !strings.Contains(s, "0:1") || !strings.Contains(s, "20:1") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+// Property: the CDH is monotone non-decreasing and ends at 1 for any
+// non-empty sample set.
+func TestCDHMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h, err := New(7, 12)
+		if err != nil {
+			return false
+		}
+		for _, v := range raw {
+			h.Add(float64(v))
+		}
+		cdh := h.CDH()
+		prev := 0.0
+		for _, v := range cdh {
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return math.Abs(cdh[len(cdh)-1]-1.0) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: at least a p-fraction of samples are below
+// ValueAtPercentile(p), i.e. the reserve rule covers what it claims.
+func TestPercentileCoverageProperty(t *testing.T) {
+	f := func(raw []uint16, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := float64(pRaw%101) / 100
+		h, err := New(5, 16)
+		if err != nil {
+			return false
+		}
+		for _, v := range raw {
+			h.Add(float64(v))
+		}
+		edge := h.ValueAtPercentile(p)
+		covered := 0
+		lastEdge := 16.0 * 5
+		for _, v := range raw {
+			x := float64(v)
+			if x >= lastEdge { // open-ended samples count as covered at the top edge
+				x = lastEdge - 1
+			}
+			if x < edge {
+				covered++
+			}
+		}
+		return float64(covered) >= p*float64(len(raw))-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a windowed histogram's count never exceeds its window and
+// matches min(samples, window).
+func TestWindowCountProperty(t *testing.T) {
+	f := func(raw []uint16, windowRaw uint8) bool {
+		window := int(windowRaw%16) + 1
+		h, err := NewWindowed(3, 8, window)
+		if err != nil {
+			return false
+		}
+		for _, v := range raw {
+			h.Add(float64(v))
+		}
+		want := len(raw)
+		if want > window {
+			want = window
+		}
+		return h.Count() == uint64(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

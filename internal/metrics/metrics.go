@@ -1,0 +1,208 @@
+// Package metrics defines the result records the evaluation reports —
+// IOPS, WAF, latency distribution, GC activity, prediction accuracy, and
+// SIP filtering effect — plus the normalization helpers the paper's
+// figures use (all values normalized to the A-BGC baseline).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Results summarizes one simulation run.
+type Results struct {
+	// Policy is the BGC policy name.
+	Policy string
+	// Workload is the benchmark name.
+	Workload string
+
+	// Requests is the number of host requests completed.
+	Requests int64
+	// SimTime is the simulated duration including any device overrun.
+	SimTime time.Duration
+	// IOPS is Requests divided by SimTime.
+	IOPS float64
+
+	// WAF is the write amplification factor.
+	WAF float64
+	// HostPrograms, GCMigrations, WastedMigrations and Erases mirror the
+	// FTL counters.
+	HostPrograms     int64
+	GCMigrations     int64
+	WastedMigrations int64
+	Erases           int64
+
+	// MeanLatency, P99Latency and MaxLatency describe host request
+	// latency.
+	MeanLatency time.Duration
+	P99Latency  time.Duration
+	MaxLatency  time.Duration
+
+	// FGCInvocations counts foreground GC stalls; BGCCollections counts
+	// background victim collections.
+	FGCInvocations int64
+	BGCCollections int64
+
+	// TrimmedPages counts pages discarded by host TRIM commands.
+	TrimmedPages int64
+	// CacheReadHits counts read pages served from the page cache without
+	// touching the device.
+	CacheReadHits int64
+
+	// FilteredVictimPct is the share of victim selections where SIP
+	// filtering rejected the plain-greedy choice (paper Table 3), in
+	// percent.
+	FilteredVictimPct float64
+
+	// Predictive reports whether the policy forecasts demand; if so,
+	// PredictionAccuracy is the Table 2 metric in [0,1].
+	Predictive         bool
+	PredictionAccuracy float64
+
+	// MinErase and MaxErase bound per-block wear at the end of the run.
+	MinErase, MaxErase int64
+
+	// BufferedPages and DirectPages count host write pages by type as they
+	// reached the device (flushes vs direct), for Table 1 style breakdowns.
+	BufferedPages, DirectPages int64
+}
+
+// BufferedRatio returns the buffered share of device writes in [0,1].
+func (r Results) BufferedRatio() float64 {
+	total := r.BufferedPages + r.DirectPages
+	if total == 0 {
+		return 0
+	}
+	return float64(r.BufferedPages) / float64(total)
+}
+
+// String renders a one-line summary.
+func (r Results) String() string {
+	acc := "-"
+	if r.Predictive {
+		acc = fmt.Sprintf("%.1f%%", 100*r.PredictionAccuracy)
+	}
+	return fmt.Sprintf("%s/%s: IOPS=%.0f WAF=%.3f FGC=%d BGC=%d filt=%.1f%% acc=%s",
+		r.Workload, r.Policy, r.IOPS, r.WAF, r.FGCInvocations, r.BGCCollections,
+		r.FilteredVictimPct, acc)
+}
+
+// NormalizedIOPS returns r's IOPS relative to base's.
+func (r Results) NormalizedIOPS(base Results) float64 {
+	if base.IOPS == 0 {
+		return math.NaN()
+	}
+	return r.IOPS / base.IOPS
+}
+
+// NormalizedWAF returns r's WAF relative to base's.
+func (r Results) NormalizedWAF(base Results) float64 {
+	if base.WAF == 0 {
+		return math.NaN()
+	}
+	return r.WAF / base.WAF
+}
+
+// LatencyRecorder accumulates request latencies and reports distribution
+// statistics.
+type LatencyRecorder struct {
+	samples []time.Duration
+	sum     time.Duration
+	max     time.Duration
+}
+
+// Add records one latency sample.
+func (l *LatencyRecorder) Add(d time.Duration) {
+	l.samples = append(l.samples, d)
+	l.sum += d
+	if d > l.max {
+		l.max = d
+	}
+}
+
+// Count returns the number of samples.
+func (l *LatencyRecorder) Count() int { return len(l.samples) }
+
+// Mean returns the mean latency (0 with no samples).
+func (l *LatencyRecorder) Mean() time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	return l.sum / time.Duration(len(l.samples))
+}
+
+// Max returns the maximum latency.
+func (l *LatencyRecorder) Max() time.Duration { return l.max }
+
+// Percentile returns the p-th percentile latency (p in [0,100]).
+func (l *LatencyRecorder) Percentile(p float64) time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(l.samples))
+	copy(sorted, l.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+// Table renders rows of labelled values as an aligned text table, the
+// output format of cmd/paperbench.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

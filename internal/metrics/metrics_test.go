@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestResultsRatiosAndString(t *testing.T) {
+	r := Results{Workload: "YCSB", Policy: "JIT-GC", IOPS: 500, WAF: 1.5, Predictive: true, PredictionAccuracy: 0.9}
+	base := Results{IOPS: 1000, WAF: 3.0}
+	if got := r.NormalizedIOPS(base); got != 0.5 {
+		t.Errorf("normalized IOPS = %v", got)
+	}
+	if got := r.NormalizedWAF(base); got != 0.5 {
+		t.Errorf("normalized WAF = %v", got)
+	}
+	if !math.IsNaN(r.NormalizedIOPS(Results{})) || !math.IsNaN(r.NormalizedWAF(Results{})) {
+		t.Error("zero base should yield NaN")
+	}
+	s := r.String()
+	if !strings.Contains(s, "YCSB/JIT-GC") || !strings.Contains(s, "90.0%") {
+		t.Errorf("String = %q", s)
+	}
+	r.Predictive = false
+	if !strings.Contains(r.String(), "acc=-") {
+		t.Errorf("non-predictive String = %q", r.String())
+	}
+}
+
+func TestBufferedRatio(t *testing.T) {
+	r := Results{BufferedPages: 75, DirectPages: 25}
+	if got := r.BufferedRatio(); got != 0.75 {
+		t.Errorf("buffered ratio = %v", got)
+	}
+	if got := (Results{}).BufferedRatio(); got != 0 {
+		t.Errorf("empty ratio = %v", got)
+	}
+}
+
+func TestLatencyRecorder(t *testing.T) {
+	var l LatencyRecorder
+	if l.Mean() != 0 || l.Percentile(99) != 0 || l.Max() != 0 || l.Count() != 0 {
+		t.Error("empty recorder not zero")
+	}
+	for i := 1; i <= 100; i++ {
+		l.Add(time.Duration(i) * time.Millisecond)
+	}
+	if l.Count() != 100 {
+		t.Errorf("count = %d", l.Count())
+	}
+	if got := l.Mean(); got != 50500*time.Microsecond {
+		t.Errorf("mean = %v", got)
+	}
+	if got := l.Max(); got != 100*time.Millisecond {
+		t.Errorf("max = %v", got)
+	}
+	if got := l.Percentile(50); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := l.Percentile(99); got != 99*time.Millisecond {
+		t.Errorf("p99 = %v", got)
+	}
+	if got := l.Percentile(0); got != time.Millisecond {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := l.Percentile(100); got != 100*time.Millisecond {
+		t.Errorf("p100 = %v", got)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var l LatencyRecorder
+		for _, v := range raw {
+			l.Add(time.Duration(v) * time.Microsecond)
+		}
+		prev := time.Duration(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			cur := l.Percentile(p)
+			if cur < prev || cur > l.Max() {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Title: "demo", Columns: []string{"name", "value"}}
+	tb.AddRow("short", "1")
+	tb.AddRow("a-much-longer-name", "2.5")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	// All data lines align to the same width.
+	if len(lines[2]) == 0 || !strings.HasPrefix(lines[3], "short ") {
+		t.Errorf("alignment broken:\n%s", out)
+	}
+	if !strings.Contains(out, "a-much-longer-name") {
+		t.Error("long cell missing")
+	}
+}
+
+func TestWriteTimelineCSV(t *testing.T) {
+	points := []TimelinePoint{
+		{T: 5 * time.Second, FreeBytes: 1000, DirtyPages: 7, WAF: 1.25,
+			FGCInvocations: 1, BGCCollections: 2, ReclaimBytes: 512,
+			PredictedBytes: 2048, IdleFraction: 0.75},
+		{T: 10 * time.Second, FreeBytes: 900, DirtyPages: 9, WAF: 1.5},
+	}
+	var buf strings.Builder
+	if err := WriteTimelineCSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "t_us,free_bytes") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "5000000,1000,7,1.25") {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if !strings.Contains(lines[1], ",0.7500") {
+		t.Errorf("idle fraction missing: %q", lines[1])
+	}
+}

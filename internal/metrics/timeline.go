@@ -1,0 +1,51 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"time"
+)
+
+// TimelinePoint is one per-write-back-interval sample of simulator state,
+// recorded when timeline capture is enabled. A run's timeline is the data
+// behind time-series plots: free-space trajectories under different BGC
+// policies, WAF growth, foreground-GC bursts.
+type TimelinePoint struct {
+	// T is the simulation instant of the sample (a flusher tick).
+	T time.Duration
+	// FreeBytes is C_free at the tick, before the policy's decision.
+	FreeBytes int64
+	// DirtyPages is the page-cache dirty set size.
+	DirtyPages int
+	// WAF is the cumulative write amplification factor so far.
+	WAF float64
+	// FGCInvocations and BGCCollections are cumulative counters.
+	FGCInvocations int64
+	BGCCollections int64
+	// ReclaimBytes is the policy's D_reclaim request at this tick.
+	ReclaimBytes int64
+	// PredictedBytes is the policy's C_req forecast at this tick (0 for
+	// non-predictive policies).
+	PredictedBytes int64
+	// IdleFraction is the device idle share estimate at this tick.
+	IdleFraction float64
+}
+
+// WriteTimelineCSV serializes a timeline as CSV with a header row, suitable
+// for plotting tools.
+func WriteTimelineCSV(w io.Writer, points []TimelinePoint) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "t_us,free_bytes,dirty_pages,waf,fgc,bgc,reclaim_bytes,predicted_bytes,idle_fraction"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%d,%.6f,%d,%d,%d,%d,%.4f\n",
+			p.T.Microseconds(), p.FreeBytes, p.DirtyPages, p.WAF,
+			p.FGCInvocations, p.BGCCollections, p.ReclaimBytes,
+			p.PredictedBytes, p.IdleFraction); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,316 @@
+package nand
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Errors returned by Array operations.
+var (
+	ErrBadAddress        = errors.New("nand: address out of range")
+	ErrPageNotWritten    = errors.New("nand: reading a page that was never programmed")
+	ErrPageNotFree       = errors.New("nand: programming a page that is not free")
+	ErrOutOfOrderProgram = errors.New("nand: pages must be programmed sequentially within a block")
+	ErrInjected          = errors.New("nand: injected operation failure")
+	ErrWornOut           = errors.New("nand: block past its erase endurance limit")
+	errNonPositiveTiming = errors.New("nand: timing values must be positive")
+)
+
+// PageState is the lifecycle state of a single NAND page.
+type PageState uint8
+
+// Page lifecycle: free (erased) → valid (programmed, mapped) → invalid
+// (superseded by an out-of-place update) → free again after a block erase.
+const (
+	PageFree PageState = iota
+	PageValid
+	PageInvalid
+)
+
+// String returns the lowercase state name.
+func (s PageState) String() string {
+	switch s {
+	case PageFree:
+		return "free"
+	case PageValid:
+		return "valid"
+	case PageInvalid:
+		return "invalid"
+	default:
+		return fmt.Sprintf("PageState(%d)", uint8(s))
+	}
+}
+
+// PageAddr identifies a physical page by flat block index and in-block page
+// index.
+type PageAddr struct {
+	Block int
+	Page  int
+}
+
+// PPN returns the flat physical page number of a for a geometry with
+// pagesPerBlock pages per block.
+func (a PageAddr) PPN(pagesPerBlock int) int64 {
+	return int64(a.Block)*int64(pagesPerBlock) + int64(a.Page)
+}
+
+// AddrOfPPN is the inverse of PageAddr.PPN.
+func AddrOfPPN(ppn int64, pagesPerBlock int) PageAddr {
+	return PageAddr{Block: int(ppn / int64(pagesPerBlock)), Page: int(ppn % int64(pagesPerBlock))}
+}
+
+// Stats counts operations performed on an Array and the cumulative device
+// time they occupied.
+type Stats struct {
+	Reads    int64
+	Programs int64
+	Erases   int64
+	BusyTime time.Duration
+}
+
+// FaultInjector lets tests inject NAND-level operation failures.
+// ShouldFail is consulted before each operation; returning true makes the
+// operation fail with ErrInjected without changing any state.
+type FaultInjector interface {
+	ShouldFail(op Op, addr PageAddr) bool
+}
+
+// Op identifies a NAND operation kind for fault injection.
+type Op uint8
+
+// Operation kinds.
+const (
+	OpRead Op = iota
+	OpProgram
+	OpErase
+)
+
+// String returns the lowercase operation name.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpProgram:
+		return "program"
+	case OpErase:
+		return "erase"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// block is the per-erase-block state.
+type block struct {
+	pages      []PageState
+	data       []uint64 // payload tokens, for end-to-end integrity checks
+	writePtr   int      // next page index that may be programmed
+	valid      int      // count of PageValid pages
+	eraseCount int64
+	retired    bool
+}
+
+// Array is a timed NAND flash array. It enforces the physical constraints
+// real FTLs must respect: a page can be programmed only once between
+// erases, pages within a block are programmed in order, and invalid pages
+// are reclaimed only by erasing the whole block.
+//
+// Array is not safe for concurrent use; the discrete-event simulator drives
+// it from a single goroutine.
+type Array struct {
+	geo       Geometry
+	timing    Timing
+	blocks    []block
+	stats     Stats
+	injector  FaultInjector
+	endurance int64 // erase limit per block; 0 = unlimited
+}
+
+// NewArray builds an erased array with the given geometry and timing.
+func NewArray(geo Geometry, timing Timing) (*Array, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	if err := timing.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Array{geo: geo, timing: timing, blocks: make([]block, geo.TotalBlocks())}
+	for i := range a.blocks {
+		a.blocks[i].pages = make([]PageState, geo.PagesPerBlock)
+		a.blocks[i].data = make([]uint64, geo.PagesPerBlock)
+	}
+	return a, nil
+}
+
+// SetEnduranceLimit sets the per-block erase budget: erasing a block past
+// the limit fails with ErrWornOut and retires the block (its pages stay
+// readable but it can never be programmed again). 0 removes the limit.
+func (a *Array) SetEnduranceLimit(n int64) { a.endurance = n }
+
+// Retired reports whether a block has been retired by wear-out.
+func (a *Array) Retired(blockIdx int) bool {
+	return blockIdx >= 0 && blockIdx < len(a.blocks) && a.blocks[blockIdx].retired
+}
+
+// RetiredBlocks counts worn-out blocks.
+func (a *Array) RetiredBlocks() int {
+	n := 0
+	for i := range a.blocks {
+		if a.blocks[i].retired {
+			n++
+		}
+	}
+	return n
+}
+
+// SetFaultInjector installs (or, with nil, removes) a fault injector.
+func (a *Array) SetFaultInjector(fi FaultInjector) { a.injector = fi }
+
+// Geometry returns the array geometry.
+func (a *Array) Geometry() Geometry { return a.geo }
+
+// Timing returns the array operation timings.
+func (a *Array) Timing() Timing { return a.timing }
+
+// Stats returns a snapshot of the operation counters.
+func (a *Array) Stats() Stats { return a.stats }
+
+func (a *Array) checkAddr(addr PageAddr) error {
+	if addr.Block < 0 || addr.Block >= len(a.blocks) ||
+		addr.Page < 0 || addr.Page >= a.geo.PagesPerBlock {
+		return fmt.Errorf("%w: block %d page %d", ErrBadAddress, addr.Block, addr.Page)
+	}
+	return nil
+}
+
+// ReadPage reads one page, returning its payload token and the device time
+// consumed.
+func (a *Array) ReadPage(addr PageAddr) (uint64, time.Duration, error) {
+	if err := a.checkAddr(addr); err != nil {
+		return 0, 0, err
+	}
+	if a.injector != nil && a.injector.ShouldFail(OpRead, addr) {
+		return 0, 0, fmt.Errorf("%w: read %+v", ErrInjected, addr)
+	}
+	b := &a.blocks[addr.Block]
+	if b.pages[addr.Page] == PageFree {
+		return 0, 0, fmt.Errorf("%w: block %d page %d", ErrPageNotWritten, addr.Block, addr.Page)
+	}
+	a.stats.Reads++
+	d := a.timing.ReadCost()
+	a.stats.BusyTime += d
+	return b.data[addr.Page], d, nil
+}
+
+// ProgramPage programs one page with a payload token, marking it valid,
+// and returns the device time consumed. The page must be the next free
+// page of its block, and the block must not be retired.
+func (a *Array) ProgramPage(addr PageAddr, data uint64) (time.Duration, error) {
+	if err := a.checkAddr(addr); err != nil {
+		return 0, err
+	}
+	if a.injector != nil && a.injector.ShouldFail(OpProgram, addr) {
+		return 0, fmt.Errorf("%w: program %+v", ErrInjected, addr)
+	}
+	b := &a.blocks[addr.Block]
+	if b.retired {
+		return 0, fmt.Errorf("%w: program on retired block %d", ErrWornOut, addr.Block)
+	}
+	if b.pages[addr.Page] != PageFree {
+		return 0, fmt.Errorf("%w: block %d page %d is %v", ErrPageNotFree, addr.Block, addr.Page, b.pages[addr.Page])
+	}
+	if addr.Page != b.writePtr {
+		return 0, fmt.Errorf("%w: block %d expects page %d, got %d", ErrOutOfOrderProgram, addr.Block, b.writePtr, addr.Page)
+	}
+	b.pages[addr.Page] = PageValid
+	b.data[addr.Page] = data
+	b.writePtr++
+	b.valid++
+	a.stats.Programs++
+	d := a.timing.ProgramCost()
+	a.stats.BusyTime += d
+	return d, nil
+}
+
+// InvalidatePage marks a previously valid page invalid (an out-of-place
+// update superseded it). Invalidation is a metadata operation and consumes
+// no device time.
+func (a *Array) InvalidatePage(addr PageAddr) error {
+	if err := a.checkAddr(addr); err != nil {
+		return err
+	}
+	b := &a.blocks[addr.Block]
+	if b.pages[addr.Page] != PageValid {
+		return fmt.Errorf("nand: invalidating block %d page %d in state %v", addr.Block, addr.Page, b.pages[addr.Page])
+	}
+	b.pages[addr.Page] = PageInvalid
+	b.valid--
+	return nil
+}
+
+// EraseBlock erases a whole block, freeing every page, and returns the
+// device time consumed.
+func (a *Array) EraseBlock(blockIdx int) (time.Duration, error) {
+	if blockIdx < 0 || blockIdx >= len(a.blocks) {
+		return 0, fmt.Errorf("%w: block %d", ErrBadAddress, blockIdx)
+	}
+	if a.injector != nil && a.injector.ShouldFail(OpErase, PageAddr{Block: blockIdx}) {
+		return 0, fmt.Errorf("%w: erase block %d", ErrInjected, blockIdx)
+	}
+	b := &a.blocks[blockIdx]
+	if b.retired {
+		return 0, fmt.Errorf("%w: erase on retired block %d", ErrWornOut, blockIdx)
+	}
+	if a.endurance > 0 && b.eraseCount >= a.endurance {
+		b.retired = true
+		return 0, fmt.Errorf("%w: block %d at %d erases", ErrWornOut, blockIdx, b.eraseCount)
+	}
+	for i := range b.pages {
+		b.pages[i] = PageFree
+	}
+	b.writePtr = 0
+	b.valid = 0
+	b.eraseCount++
+	a.stats.Erases++
+	d := a.timing.EraseBlock
+	a.stats.BusyTime += d
+	return d, nil
+}
+
+// PageStateAt returns the state of one page.
+func (a *Array) PageStateAt(addr PageAddr) (PageState, error) {
+	if err := a.checkAddr(addr); err != nil {
+		return PageFree, err
+	}
+	return a.blocks[addr.Block].pages[addr.Page], nil
+}
+
+// ValidCount returns the number of valid pages in a block.
+func (a *Array) ValidCount(blockIdx int) int { return a.blocks[blockIdx].valid }
+
+// WritePtr returns the next programmable page index of a block
+// (PagesPerBlock when the block is fully written).
+func (a *Array) WritePtr(blockIdx int) int { return a.blocks[blockIdx].writePtr }
+
+// EraseCount returns how many times a block has been erased.
+func (a *Array) EraseCount(blockIdx int) int64 { return a.blocks[blockIdx].eraseCount }
+
+// WearStats returns the minimum, maximum and total erase counts across all
+// blocks — the inputs to wear-leveling decisions and lifetime accounting.
+func (a *Array) WearStats() (minErase, maxErase, total int64) {
+	if len(a.blocks) == 0 {
+		return 0, 0, 0
+	}
+	minErase = a.blocks[0].eraseCount
+	for i := range a.blocks {
+		c := a.blocks[i].eraseCount
+		if c < minErase {
+			minErase = c
+		}
+		if c > maxErase {
+			maxErase = c
+		}
+		total += c
+	}
+	return minErase, maxErase, total
+}

@@ -1,0 +1,356 @@
+package nand
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func testGeometry() Geometry {
+	return Geometry{Channels: 2, ChipsPerChannel: 1, BlocksPerChip: 4, PagesPerBlock: 8, PageSize: 4096}
+}
+
+func newTestArray(t *testing.T) *Array {
+	t.Helper()
+	a, err := NewArray(testGeometry(), DefaultTimingMLC())
+	if err != nil {
+		t.Fatalf("NewArray: %v", err)
+	}
+	return a
+}
+
+func TestNewArrayRejectsBadConfig(t *testing.T) {
+	if _, err := NewArray(Geometry{}, DefaultTimingMLC()); err == nil {
+		t.Error("NewArray accepted zero geometry")
+	}
+	if _, err := NewArray(testGeometry(), Timing{}); err == nil {
+		t.Error("NewArray accepted zero timing")
+	}
+}
+
+func TestProgramReadInvalidateEraseLifecycle(t *testing.T) {
+	a := newTestArray(t)
+	addr := PageAddr{Block: 3, Page: 0}
+
+	if _, _, err := a.ReadPage(addr); !errors.Is(err, ErrPageNotWritten) {
+		t.Errorf("read of free page: err = %v, want ErrPageNotWritten", err)
+	}
+
+	d, err := a.ProgramPage(addr, 0xAB)
+	if err != nil {
+		t.Fatalf("ProgramPage: %v", err)
+	}
+	if d != a.Timing().ProgramCost() {
+		t.Errorf("program duration = %v, want %v", d, a.Timing().ProgramCost())
+	}
+	if st, _ := a.PageStateAt(addr); st != PageValid {
+		t.Errorf("state after program = %v, want valid", st)
+	}
+	if got := a.ValidCount(3); got != 1 {
+		t.Errorf("ValidCount = %d, want 1", got)
+	}
+
+	if _, err := a.ProgramPage(addr, 0xAB); !errors.Is(err, ErrPageNotFree) {
+		t.Errorf("double program: err = %v, want ErrPageNotFree", err)
+	}
+
+	_, d, err = a.ReadPage(addr)
+	if err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	if d != a.Timing().ReadCost() {
+		t.Errorf("read duration = %v, want %v", d, a.Timing().ReadCost())
+	}
+
+	if err := a.InvalidatePage(addr); err != nil {
+		t.Fatalf("InvalidatePage: %v", err)
+	}
+	if st, _ := a.PageStateAt(addr); st != PageInvalid {
+		t.Errorf("state after invalidate = %v, want invalid", st)
+	}
+	if err := a.InvalidatePage(addr); err == nil {
+		t.Error("double invalidate succeeded")
+	}
+	if got := a.ValidCount(3); got != 0 {
+		t.Errorf("ValidCount after invalidate = %d, want 0", got)
+	}
+
+	d, err = a.EraseBlock(3)
+	if err != nil {
+		t.Fatalf("EraseBlock: %v", err)
+	}
+	if d != a.Timing().EraseBlock {
+		t.Errorf("erase duration = %v, want %v", d, a.Timing().EraseBlock)
+	}
+	if st, _ := a.PageStateAt(addr); st != PageFree {
+		t.Errorf("state after erase = %v, want free", st)
+	}
+	if got := a.EraseCount(3); got != 1 {
+		t.Errorf("EraseCount = %d, want 1", got)
+	}
+}
+
+func TestSequentialProgramConstraint(t *testing.T) {
+	a := newTestArray(t)
+	if _, err := a.ProgramPage(PageAddr{Block: 0, Page: 3}, 0xAB); !errors.Is(err, ErrOutOfOrderProgram) {
+		t.Errorf("out-of-order program: err = %v, want ErrOutOfOrderProgram", err)
+	}
+	for p := 0; p < testGeometry().PagesPerBlock; p++ {
+		if _, err := a.ProgramPage(PageAddr{Block: 0, Page: p}, 0xAB); err != nil {
+			t.Fatalf("sequential program page %d: %v", p, err)
+		}
+		if got := a.WritePtr(0); got != p+1 {
+			t.Errorf("WritePtr after page %d = %d, want %d", p, got, p+1)
+		}
+	}
+}
+
+func TestAddressValidation(t *testing.T) {
+	a := newTestArray(t)
+	bad := []PageAddr{
+		{Block: -1, Page: 0},
+		{Block: testGeometry().TotalBlocks(), Page: 0},
+		{Block: 0, Page: -1},
+		{Block: 0, Page: testGeometry().PagesPerBlock},
+	}
+	for _, addr := range bad {
+		if _, _, err := a.ReadPage(addr); !errors.Is(err, ErrBadAddress) {
+			t.Errorf("ReadPage(%+v): err = %v, want ErrBadAddress", addr, err)
+		}
+		if _, err := a.ProgramPage(addr, 0xAB); !errors.Is(err, ErrBadAddress) {
+			t.Errorf("ProgramPage(%+v): err = %v, want ErrBadAddress", addr, err)
+		}
+	}
+	if _, err := a.EraseBlock(-1); !errors.Is(err, ErrBadAddress) {
+		t.Errorf("EraseBlock(-1): err = %v, want ErrBadAddress", err)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	a := newTestArray(t)
+	addr := PageAddr{Block: 1, Page: 0}
+	if _, err := a.ProgramPage(addr, 0xAB); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.ReadPage(addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.InvalidatePage(addr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.EraseBlock(1); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if st.Programs != 1 || st.Reads != 1 || st.Erases != 1 {
+		t.Errorf("stats = %+v, want 1 each", st)
+	}
+	wantBusy := a.Timing().ProgramCost() + a.Timing().ReadCost() + a.Timing().EraseBlock
+	if st.BusyTime != wantBusy {
+		t.Errorf("busy time = %v, want %v", st.BusyTime, wantBusy)
+	}
+}
+
+func TestWearStats(t *testing.T) {
+	a := newTestArray(t)
+	for i := 0; i < 3; i++ {
+		if _, err := a.EraseBlock(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.EraseBlock(1); err != nil {
+		t.Fatal(err)
+	}
+	minE, maxE, total := a.WearStats()
+	if minE != 0 || maxE != 3 || total != 4 {
+		t.Errorf("wear stats = %d/%d/%d, want 0/3/4", minE, maxE, total)
+	}
+}
+
+// failEverything injects failures for one op kind.
+type failEverything struct{ op Op }
+
+func (f failEverything) ShouldFail(op Op, _ PageAddr) bool { return op == f.op }
+
+func TestFaultInjection(t *testing.T) {
+	for _, op := range []Op{OpRead, OpProgram, OpErase} {
+		a := newTestArray(t)
+		if _, err := a.ProgramPage(PageAddr{Block: 0, Page: 0}, 0xAB); err != nil {
+			t.Fatal(err)
+		}
+		a.SetFaultInjector(failEverything{op})
+		var err error
+		switch op {
+		case OpRead:
+			_, _, err = a.ReadPage(PageAddr{Block: 0, Page: 0})
+		case OpProgram:
+			_, err = a.ProgramPage(PageAddr{Block: 0, Page: 1}, 0xAB)
+		case OpErase:
+			_, err = a.EraseBlock(0)
+		}
+		if !errors.Is(err, ErrInjected) {
+			t.Errorf("%v with injector: err = %v, want ErrInjected", op, err)
+		}
+		// State must be unchanged by a failed op.
+		if op == OpProgram {
+			if st, _ := a.PageStateAt(PageAddr{Block: 0, Page: 1}); st != PageFree {
+				t.Errorf("failed program changed state to %v", st)
+			}
+		}
+		if op == OpErase {
+			if st, _ := a.PageStateAt(PageAddr{Block: 0, Page: 0}); st != PageValid {
+				t.Errorf("failed erase changed state to %v", st)
+			}
+		}
+		a.SetFaultInjector(nil)
+		if _, _, err := a.ReadPage(PageAddr{Block: 0, Page: 0}); err != nil {
+			t.Errorf("after removing injector: %v", err)
+		}
+	}
+}
+
+// TestRandomOpsMaintainInvariants drives the array with random valid
+// operations and checks the per-block valid-count bookkeeping against a
+// shadow model.
+func TestRandomOpsMaintainInvariants(t *testing.T) {
+	geo := testGeometry()
+	a, err := NewArray(geo, DefaultTimingMLC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(42))
+	type shadowBlock struct {
+		states []PageState
+		wp     int
+	}
+	shadow := make([]shadowBlock, geo.TotalBlocks())
+	for i := range shadow {
+		shadow[i].states = make([]PageState, geo.PagesPerBlock)
+	}
+	for step := 0; step < 5000; step++ {
+		b := r.Intn(geo.TotalBlocks())
+		sb := &shadow[b]
+		switch r.Intn(3) {
+		case 0: // program next page if possible
+			if sb.wp < geo.PagesPerBlock {
+				if _, err := a.ProgramPage(PageAddr{Block: b, Page: sb.wp}, 0xAB); err != nil {
+					t.Fatalf("step %d: program: %v", step, err)
+				}
+				sb.states[sb.wp] = PageValid
+				sb.wp++
+			}
+		case 1: // invalidate a random valid page
+			var valids []int
+			for p, st := range sb.states {
+				if st == PageValid {
+					valids = append(valids, p)
+				}
+			}
+			if len(valids) > 0 {
+				p := valids[r.Intn(len(valids))]
+				if err := a.InvalidatePage(PageAddr{Block: b, Page: p}); err != nil {
+					t.Fatalf("step %d: invalidate: %v", step, err)
+				}
+				sb.states[p] = PageInvalid
+			}
+		case 2: // occasionally erase
+			if r.Intn(8) == 0 {
+				if _, err := a.EraseBlock(b); err != nil {
+					t.Fatalf("step %d: erase: %v", step, err)
+				}
+				for p := range sb.states {
+					sb.states[p] = PageFree
+				}
+				sb.wp = 0
+			}
+		}
+		// Check invariants for the touched block.
+		wantValid := 0
+		for _, st := range sb.states {
+			if st == PageValid {
+				wantValid++
+			}
+		}
+		if got := a.ValidCount(b); got != wantValid {
+			t.Fatalf("step %d: block %d ValidCount = %d, shadow %d", step, b, got, wantValid)
+		}
+		if got := a.WritePtr(b); got != sb.wp {
+			t.Fatalf("step %d: block %d WritePtr = %d, shadow %d", step, b, got, sb.wp)
+		}
+	}
+}
+
+func TestOpAndStateStrings(t *testing.T) {
+	if PageFree.String() != "free" || PageValid.String() != "valid" || PageInvalid.String() != "invalid" {
+		t.Error("PageState strings wrong")
+	}
+	if OpRead.String() != "read" || OpProgram.String() != "program" || OpErase.String() != "erase" {
+		t.Error("Op strings wrong")
+	}
+	if PageState(9).String() == "" || Op(9).String() == "" {
+		t.Error("unknown values should still render")
+	}
+}
+
+func TestTimingCosts(t *testing.T) {
+	tm := Timing{ReadPage: 10, ProgramPage: 100, EraseBlock: 1000, Transfer: 1}
+	if tm.ReadCost() != 11 || tm.ProgramCost() != 101 {
+		t.Errorf("costs = %v/%v, want 11/101", tm.ReadCost(), tm.ProgramCost())
+	}
+	if tm.MigrateCost() != 112 {
+		t.Errorf("MigrateCost = %v, want 112", tm.MigrateCost())
+	}
+	bad := Timing{ReadPage: 10, ProgramPage: 100, EraseBlock: 0, Transfer: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted zero erase time")
+	}
+	if err := DefaultTimingMLC().Validate(); err != nil {
+		t.Errorf("default timing invalid: %v", err)
+	}
+	_ = time.Duration(0)
+}
+
+func TestEnduranceRetiresBlocks(t *testing.T) {
+	a := newTestArray(t)
+	a.SetEnduranceLimit(2)
+	for i := 0; i < 2; i++ {
+		if _, err := a.EraseBlock(0); err != nil {
+			t.Fatalf("erase %d: %v", i, err)
+		}
+	}
+	if _, err := a.EraseBlock(0); !errors.Is(err, ErrWornOut) {
+		t.Fatalf("third erase: err = %v, want ErrWornOut", err)
+	}
+	if !a.Retired(0) {
+		t.Error("block not retired after wear-out")
+	}
+	if a.RetiredBlocks() != 1 {
+		t.Errorf("retired count = %d", a.RetiredBlocks())
+	}
+	if _, err := a.ProgramPage(PageAddr{Block: 0, Page: 0}, 1); !errors.Is(err, ErrWornOut) {
+		t.Errorf("program on retired block: err = %v, want ErrWornOut", err)
+	}
+	if _, err := a.EraseBlock(0); !errors.Is(err, ErrWornOut) {
+		t.Errorf("erase on retired block: err = %v, want ErrWornOut", err)
+	}
+	// Unlimited blocks keep working.
+	if _, err := a.EraseBlock(1); err != nil {
+		t.Errorf("healthy block erase: %v", err)
+	}
+}
+
+func TestPayloadRoundTrip(t *testing.T) {
+	a := newTestArray(t)
+	addr := PageAddr{Block: 2, Page: 0}
+	if _, err := a.ProgramPage(addr, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := a.ReadPage(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0xDEADBEEF {
+		t.Errorf("payload = %#x, want 0xDEADBEEF", got)
+	}
+}

@@ -1,0 +1,94 @@
+// Package nand models a NAND flash memory array: its geometry, operation
+// timings, per-block page state, erase wear, and the physical constraints
+// (erase-before-write, sequential in-block programming) that make garbage
+// collection necessary in the first place.
+//
+// The model is a substitute for the Samsung SM843T hardware used by the
+// JIT-GC paper (Hahn, Lee, Kim — DAC 2015): it reproduces the behaviour GC
+// policies react to — page programs, valid-page migration costs, and block
+// erases — under a deterministic, configurable geometry.
+package nand
+
+import "fmt"
+
+// Geometry describes the physical layout of a NAND array.
+//
+// Blocks are addressed with a single flat index in
+// [0, TotalBlocks()); the channel/chip structure is retained for
+// parallelism modelling (see Parallelism).
+type Geometry struct {
+	// Channels is the number of independent flash channels.
+	Channels int
+	// ChipsPerChannel is the number of NAND dies attached to each channel.
+	ChipsPerChannel int
+	// BlocksPerChip is the number of erase blocks per die.
+	BlocksPerChip int
+	// PagesPerBlock is the number of program pages per erase block.
+	PagesPerBlock int
+	// PageSize is the page payload in bytes.
+	PageSize int
+}
+
+// DefaultGeometry returns a scaled-down geometry that keeps the paper's
+// structural ratios (many pages per block, multi-channel parallelism,
+// write bandwidth ≈ 3-4× GC bandwidth) while letting full experiments run
+// in seconds. Total raw capacity is 4 × 1 × 128 × 128 × 4 KiB = 256 MiB.
+func DefaultGeometry() Geometry {
+	return Geometry{
+		Channels:        4,
+		ChipsPerChannel: 1,
+		BlocksPerChip:   128,
+		PagesPerBlock:   128,
+		PageSize:        4096,
+	}
+}
+
+// Validate reports whether every field of g is positive.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Channels <= 0:
+		return fmt.Errorf("nand: geometry has %d channels", g.Channels)
+	case g.ChipsPerChannel <= 0:
+		return fmt.Errorf("nand: geometry has %d chips per channel", g.ChipsPerChannel)
+	case g.BlocksPerChip <= 0:
+		return fmt.Errorf("nand: geometry has %d blocks per chip", g.BlocksPerChip)
+	case g.PagesPerBlock <= 0:
+		return fmt.Errorf("nand: geometry has %d pages per block", g.PagesPerBlock)
+	case g.PageSize <= 0:
+		return fmt.Errorf("nand: geometry has page size %d", g.PageSize)
+	}
+	return nil
+}
+
+// TotalChips returns the number of dies in the array.
+func (g Geometry) TotalChips() int { return g.Channels * g.ChipsPerChannel }
+
+// TotalBlocks returns the number of erase blocks in the array.
+func (g Geometry) TotalBlocks() int { return g.TotalChips() * g.BlocksPerChip }
+
+// TotalPages returns the number of program pages in the array.
+func (g Geometry) TotalPages() int { return g.TotalBlocks() * g.PagesPerBlock }
+
+// BlockBytes returns the payload capacity of one erase block.
+func (g Geometry) BlockBytes() int64 { return int64(g.PagesPerBlock) * int64(g.PageSize) }
+
+// TotalBytes returns the raw payload capacity of the array.
+func (g Geometry) TotalBytes() int64 { return int64(g.TotalPages()) * int64(g.PageSize) }
+
+// Parallelism returns the number of flash operations the array can perform
+// concurrently: one per die.
+func (g Geometry) Parallelism() int { return g.TotalChips() }
+
+// PagesFor returns the number of pages needed to hold n bytes.
+func (g Geometry) PagesFor(n int64) int {
+	if n <= 0 {
+		return 0
+	}
+	ps := int64(g.PageSize)
+	return int((n + ps - 1) / ps)
+}
+
+// ChannelOf returns the channel a flat block index belongs to. Blocks are
+// striped across channels so that consecutive blocks land on different
+// channels, matching how SSD firmware interleaves superblocks.
+func (g Geometry) ChannelOf(block int) int { return block % g.Channels }

@@ -1,0 +1,87 @@
+package nand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultGeometryValid(t *testing.T) {
+	if err := DefaultGeometry().Validate(); err != nil {
+		t.Fatalf("default geometry invalid: %v", err)
+	}
+}
+
+func TestGeometryDerivedQuantities(t *testing.T) {
+	g := Geometry{Channels: 4, ChipsPerChannel: 2, BlocksPerChip: 8, PagesPerBlock: 16, PageSize: 4096}
+	if got, want := g.TotalChips(), 8; got != want {
+		t.Errorf("TotalChips = %d, want %d", got, want)
+	}
+	if got, want := g.TotalBlocks(), 64; got != want {
+		t.Errorf("TotalBlocks = %d, want %d", got, want)
+	}
+	if got, want := g.TotalPages(), 1024; got != want {
+		t.Errorf("TotalPages = %d, want %d", got, want)
+	}
+	if got, want := g.BlockBytes(), int64(16*4096); got != want {
+		t.Errorf("BlockBytes = %d, want %d", got, want)
+	}
+	if got, want := g.TotalBytes(), int64(1024*4096); got != want {
+		t.Errorf("TotalBytes = %d, want %d", got, want)
+	}
+	if got, want := g.Parallelism(), 8; got != want {
+		t.Errorf("Parallelism = %d, want %d", got, want)
+	}
+}
+
+func TestGeometryValidateRejectsNonPositiveFields(t *testing.T) {
+	base := DefaultGeometry()
+	mutations := []func(*Geometry){
+		func(g *Geometry) { g.Channels = 0 },
+		func(g *Geometry) { g.ChipsPerChannel = -1 },
+		func(g *Geometry) { g.BlocksPerChip = 0 },
+		func(g *Geometry) { g.PagesPerBlock = 0 },
+		func(g *Geometry) { g.PageSize = -4096 },
+	}
+	for i, mutate := range mutations {
+		g := base
+		mutate(&g)
+		if err := g.Validate(); err == nil {
+			t.Errorf("mutation %d: Validate accepted invalid geometry %+v", i, g)
+		}
+	}
+}
+
+func TestPagesFor(t *testing.T) {
+	g := Geometry{Channels: 1, ChipsPerChannel: 1, BlocksPerChip: 1, PagesPerBlock: 1, PageSize: 4096}
+	cases := []struct {
+		bytes int64
+		want  int
+	}{
+		{0, 0}, {-5, 0}, {1, 1}, {4096, 1}, {4097, 2}, {8192, 2}, {12288, 3},
+	}
+	for _, c := range cases {
+		if got := g.PagesFor(c.bytes); got != c.want {
+			t.Errorf("PagesFor(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestChannelOfStripesBlocks(t *testing.T) {
+	g := DefaultGeometry()
+	for b := 0; b < 2*g.Channels; b++ {
+		if got, want := g.ChannelOf(b), b%g.Channels; got != want {
+			t.Errorf("ChannelOf(%d) = %d, want %d", b, got, want)
+		}
+	}
+}
+
+func TestPPNRoundTripProperty(t *testing.T) {
+	const ppb = 128
+	f := func(block uint16, page uint8) bool {
+		addr := PageAddr{Block: int(block), Page: int(page) % ppb}
+		return AddrOfPPN(addr.PPN(ppb), ppb) == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

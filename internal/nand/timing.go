@@ -1,0 +1,47 @@
+package nand
+
+import "time"
+
+// Timing holds the latency of each NAND operation. Values follow the
+// 2x-nm-class MLC parts the paper describes (§1 cites 2.3 ms programs and
+// 384 pages/block at 25 nm).
+type Timing struct {
+	// ReadPage is the array-to-register read latency (tR).
+	ReadPage time.Duration
+	// ProgramPage is the register-to-array program latency (tPROG).
+	ProgramPage time.Duration
+	// EraseBlock is the block erase latency (tBERS).
+	EraseBlock time.Duration
+	// Transfer is the bus transfer time for one page over a channel.
+	Transfer time.Duration
+}
+
+// DefaultTimingMLC returns timings representative of 2x-nm MLC NAND.
+func DefaultTimingMLC() Timing {
+	return Timing{
+		ReadPage:    90 * time.Microsecond,
+		ProgramPage: 2 * time.Millisecond,
+		EraseBlock:  5 * time.Millisecond,
+		Transfer:    50 * time.Microsecond,
+	}
+}
+
+// Validate reports whether every latency is positive.
+func (t Timing) Validate() error {
+	if t.ReadPage <= 0 || t.ProgramPage <= 0 || t.EraseBlock <= 0 || t.Transfer <= 0 {
+		return errNonPositiveTiming
+	}
+	return nil
+}
+
+// ReadCost returns the device-occupancy time of one page read, including
+// bus transfer.
+func (t Timing) ReadCost() time.Duration { return t.ReadPage + t.Transfer }
+
+// ProgramCost returns the device-occupancy time of one page program,
+// including bus transfer.
+func (t Timing) ProgramCost() time.Duration { return t.ProgramPage + t.Transfer }
+
+// MigrateCost returns the cost of copying one valid page during garbage
+// collection (read + program through the controller).
+func (t Timing) MigrateCost() time.Duration { return t.ReadCost() + t.ProgramCost() }

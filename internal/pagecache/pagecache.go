@@ -1,0 +1,246 @@
+// Package pagecache models the Linux write-back page cache as the JIT-GC
+// paper describes it (§3.2.1): buffered writes dirty cache pages; a flusher
+// thread wakes every p seconds and evicts dirty data that (1) is older than
+// the expiration threshold τ_expire, or (2) overflows the flush threshold
+// τ_flush. The per-page dirty ages this model exposes are exactly the
+// host-side information the buffered-write predictor consumes.
+package pagecache
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Config parameterizes the cache model.
+type Config struct {
+	// PageSize is the cache page size in bytes.
+	PageSize int
+	// CapacityPages bounds the number of dirty pages the cache may hold.
+	// Writes beyond the bound force synchronous eviction of the oldest
+	// dirty pages (modelling direct reclaim).
+	CapacityPages int
+	// FlusherPeriod is p, the flusher thread wake interval.
+	FlusherPeriod time.Duration
+	// Expire is τ_expire: dirty data older than this is written back at
+	// the next flusher wake-up.
+	Expire time.Duration
+	// FlushRatio is τ_flush expressed as a fraction of CapacityPages: when
+	// the dirty set exceeds it, the flusher also writes back the oldest
+	// dirty pages until the dirty set fits again.
+	FlushRatio float64
+}
+
+// DefaultConfig mirrors the paper's running example: p = 5 s,
+// τ_expire = 30 s, τ_flush = 10%.
+func DefaultConfig() Config {
+	return Config{
+		PageSize:      4096,
+		CapacityPages: 1 << 18, // 1 GiB of 4 KiB pages
+		FlusherPeriod: 5 * time.Second,
+		Expire:        30 * time.Second,
+		FlushRatio:    0.10,
+	}
+}
+
+// Validate reports configuration errors, including the paper's structural
+// assumption that τ_expire is a multiple of p.
+func (c Config) Validate() error {
+	switch {
+	case c.PageSize <= 0:
+		return fmt.Errorf("pagecache: page size %d", c.PageSize)
+	case c.CapacityPages <= 0:
+		return fmt.Errorf("pagecache: capacity %d pages", c.CapacityPages)
+	case c.FlusherPeriod <= 0:
+		return fmt.Errorf("pagecache: flusher period %v", c.FlusherPeriod)
+	case c.Expire <= 0:
+		return fmt.Errorf("pagecache: expire %v", c.Expire)
+	case c.Expire%c.FlusherPeriod != 0:
+		return fmt.Errorf("pagecache: expire %v is not a multiple of flusher period %v", c.Expire, c.FlusherPeriod)
+	case c.FlushRatio <= 0 || c.FlushRatio > 1:
+		return fmt.Errorf("pagecache: flush ratio %v outside (0,1]", c.FlushRatio)
+	}
+	return nil
+}
+
+// Nwb returns τ_expire / p, the number of write-back intervals the
+// buffered-write predictor looks ahead.
+func (c Config) Nwb() int { return int(c.Expire / c.FlusherPeriod) }
+
+// DirtyPage is a snapshot entry of one dirty cache page.
+type DirtyPage struct {
+	LPN int64
+	// LastUpdate is when the page was last written; an overwrite resets it
+	// (the paper's B → B′ example), postponing write-back.
+	LastUpdate time.Duration
+}
+
+// Stats counts traffic through the cache.
+type Stats struct {
+	// WrittenPages counts buffered page writes into the cache (rewrites of
+	// an already-dirty page included).
+	WrittenPages int64
+	// FlushedPages counts pages evicted to the SSD.
+	FlushedPages int64
+	// ExpiredFlushes counts pages flushed by the τ_expire condition.
+	ExpiredFlushes int64
+	// PressureFlushes counts pages flushed by the τ_flush condition or by
+	// direct reclaim on a full cache.
+	PressureFlushes int64
+	// Overwrites counts writes that hit an already-dirty page — the pages
+	// whose on-SSD copies the SIP list marks soon-to-be-invalidated.
+	Overwrites int64
+}
+
+// Cache is the write-back cache model. It is not safe for concurrent use.
+type Cache struct {
+	cfg   Config
+	dirty map[int64]time.Duration // LPN → last update time
+	stats Stats
+}
+
+// ErrBadLPN is returned for negative logical page numbers.
+var ErrBadLPN = errors.New("pagecache: negative LPN")
+
+// New creates a cache from cfg.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Cache{cfg: cfg, dirty: make(map[int64]time.Duration)}, nil
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// DirtyPageCount returns the current number of dirty pages.
+func (c *Cache) DirtyPageCount() int { return len(c.dirty) }
+
+// Write records a buffered write of n consecutive pages starting at lpn at
+// time now. If the cache would exceed its capacity, the oldest dirty pages
+// are reclaimed synchronously and returned so the caller can issue them to
+// the SSD immediately (they count as pressure flushes).
+func (c *Cache) Write(now time.Duration, lpn int64, n int) (reclaimed []int64, err error) {
+	if lpn < 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadLPN, lpn)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("pagecache: write of %d pages", n)
+	}
+	for i := 0; i < n; i++ {
+		p := lpn + int64(i)
+		if _, ok := c.dirty[p]; ok {
+			c.stats.Overwrites++
+		}
+		c.dirty[p] = now
+		c.stats.WrittenPages++
+	}
+	if over := len(c.dirty) - c.cfg.CapacityPages; over > 0 {
+		reclaimed = c.evictOldest(over)
+		c.stats.PressureFlushes += int64(len(reclaimed))
+		c.stats.FlushedPages += int64(len(reclaimed))
+	}
+	return reclaimed, nil
+}
+
+// Flush runs the flusher thread at time now (a multiple of FlusherPeriod in
+// normal operation) and returns the LPNs written back, oldest first:
+// every page older than τ_expire, plus — if the dirty set still exceeds
+// τ_flush — the oldest remaining pages down to the threshold.
+func (c *Cache) Flush(now time.Duration) []int64 {
+	var expired []int64
+	for lpn, last := range c.dirty {
+		if now-last >= c.cfg.Expire {
+			expired = append(expired, lpn)
+		}
+	}
+	// Deterministic order: oldest first, ties by LPN.
+	sort.Slice(expired, func(i, j int) bool {
+		ti, tj := c.dirty[expired[i]], c.dirty[expired[j]]
+		if ti != tj {
+			return ti < tj
+		}
+		return expired[i] < expired[j]
+	})
+	for _, lpn := range expired {
+		delete(c.dirty, lpn)
+	}
+	c.stats.ExpiredFlushes += int64(len(expired))
+	out := expired
+
+	limit := int(c.cfg.FlushRatio * float64(c.cfg.CapacityPages))
+	if len(c.dirty) > limit {
+		extra := c.evictOldest(len(c.dirty) - limit)
+		c.stats.PressureFlushes += int64(len(extra))
+		out = append(out, extra...)
+	}
+	c.stats.FlushedPages += int64(len(out))
+	return out
+}
+
+// evictOldest removes the n oldest dirty pages and returns them.
+func (c *Cache) evictOldest(n int) []int64 {
+	if n <= 0 {
+		return nil
+	}
+	type entry struct {
+		lpn  int64
+		last time.Duration
+	}
+	all := make([]entry, 0, len(c.dirty))
+	for lpn, last := range c.dirty {
+		all = append(all, entry{lpn, last})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].last != all[j].last {
+			return all[i].last < all[j].last
+		}
+		return all[i].lpn < all[j].lpn
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]int64, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].lpn
+		delete(c.dirty, all[i].lpn)
+	}
+	return out
+}
+
+// DirtyPages returns a snapshot of all dirty pages, sorted oldest first
+// (ties by LPN) — the scan the buffered-write predictor performs.
+func (c *Cache) DirtyPages() []DirtyPage {
+	out := make([]DirtyPage, 0, len(c.dirty))
+	for lpn, last := range c.dirty {
+		out = append(out, DirtyPage{LPN: lpn, LastUpdate: last})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].LastUpdate != out[j].LastUpdate {
+			return out[i].LastUpdate < out[j].LastUpdate
+		}
+		return out[i].LPN < out[j].LPN
+	})
+	return out
+}
+
+// IsDirty reports whether lpn currently has a dirty copy in the cache —
+// reads of such pages are served from RAM without touching the device.
+func (c *Cache) IsDirty(lpn int64) bool {
+	_, ok := c.dirty[lpn]
+	return ok
+}
+
+// Drop discards a dirty page without writing it back (e.g. the file was
+// deleted). It reports whether the page was dirty.
+func (c *Cache) Drop(lpn int64) bool {
+	if _, ok := c.dirty[lpn]; !ok {
+		return false
+	}
+	delete(c.dirty, lpn)
+	return true
+}

@@ -1,0 +1,109 @@
+package predictor
+
+import (
+	"testing"
+	"time"
+)
+
+func wb56() WriteBack { return WriteBack{Period: 5 * time.Second, Expire: 30 * time.Second} }
+
+func TestNewCDHTrackerValidation(t *testing.T) {
+	if _, err := NewCDHTracker(WriteBack{}, 0.8, 1e6, 64, 0); err == nil {
+		t.Error("accepted invalid write-back")
+	}
+	if _, err := NewCDHTracker(wb56(), 0, 1e6, 64, 0); err == nil {
+		t.Error("accepted zero percentile")
+	}
+	if _, err := NewCDHTracker(wb56(), 1.1, 1e6, 64, 0); err == nil {
+		t.Error("accepted percentile > 1")
+	}
+	if _, err := NewCDHTracker(wb56(), 0.8, 0, 64, 0); err == nil {
+		t.Error("accepted zero bin width")
+	}
+	if _, err := NewCDHTracker(wb56(), 0.8, 1e6, 64, 16); err != nil {
+		t.Errorf("windowed tracker rejected: %v", err)
+	}
+}
+
+// feedWindows closes n windows of the given byte volumes.
+func feedWindows(c *CDHTracker, volumes ...int64) {
+	for _, v := range volumes {
+		c.Observe(v)
+		for i := 0; i < c.wb.Nwb(); i++ {
+			c.Tick()
+		}
+	}
+}
+
+func TestReserveFollowsCDHPercentile(t *testing.T) {
+	c, err := NewCDHTracker(wb56(), 0.8, 10e6, 32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Fig. 5 history: 10, 20, 20, 20, 80 MB per window.
+	feedWindows(c, 10e6-1, 20e6-1, 20e6-1, 20e6-1, 80e6-1)
+	if got := c.Reserve(); got != 20e6 {
+		t.Errorf("Reserve = %d, want 20 MB (80th percentile)", got)
+	}
+	d := c.Predict()
+	if len(d) != 6 {
+		t.Fatalf("demand length %d", len(d))
+	}
+	per := int64(20e6) / 6
+	for i, v := range d {
+		if v != per {
+			t.Errorf("D[%d] = %d, want δ/Nwb = %d", i+1, v, per)
+		}
+	}
+}
+
+func TestWarmupExtrapolation(t *testing.T) {
+	c, err := NewCDHTracker(wb56(), 0.8, 1e6, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Reserve(); got != 0 {
+		t.Errorf("reserve before any data = %d", got)
+	}
+	c.Observe(6e6)
+	c.Tick()
+	c.Tick() // 2 of 6 intervals elapsed, 6 MB observed
+	if got := c.Reserve(); got != 18e6 {
+		t.Errorf("warm-up reserve = %d, want 6MB × 6/2 = 18MB", got)
+	}
+}
+
+func TestWindowRollover(t *testing.T) {
+	c, err := NewCDHTracker(wb56(), 0.8, 1e6, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Observe(3e6)
+	for i := 0; i < 5; i++ {
+		c.Tick()
+	}
+	if c.Histogram().Count() != 0 {
+		t.Error("window closed early")
+	}
+	c.Tick() // 6th tick closes the window
+	if c.Histogram().Count() != 1 {
+		t.Errorf("window not closed after Nwb ticks: count %d", c.Histogram().Count())
+	}
+}
+
+func TestNegativeObservationsIgnored(t *testing.T) {
+	c, _ := NewCDHTracker(wb56(), 0.8, 1e6, 64, 0)
+	c.Observe(-100)
+	feedWindows(c, 0)
+	if got := c.Reserve(); got != 1e6 {
+		// One zero-volume window → bin 0 → percentile edge is 1 MB.
+		t.Errorf("Reserve = %d, want bin-0 edge", got)
+	}
+}
+
+func TestPercentileAccessor(t *testing.T) {
+	c, _ := NewCDHTracker(wb56(), 0.8, 1e6, 64, 0)
+	if c.Percentile() != 0.8 {
+		t.Error("percentile accessor")
+	}
+}

@@ -1,0 +1,52 @@
+package predictor
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDemandHelpers(t *testing.T) {
+	d := Demand{1, 2, 3}
+	if d.Total() != 6 {
+		t.Errorf("Total = %d", d.Total())
+	}
+	c := d.Clone()
+	c[0] = 99
+	if d[0] != 1 {
+		t.Error("Clone aliases the original")
+	}
+	if got := d.String(); got != "(1, 2, 3)" {
+		t.Errorf("String = %q", got)
+	}
+	var empty Demand
+	if empty.Total() != 0 || empty.String() != "()" {
+		t.Error("empty demand helpers broken")
+	}
+}
+
+func TestPredictionTotal(t *testing.T) {
+	p := Prediction{Buffered: Demand{10, 20}, Direct: Demand{5, 5}}
+	if p.Total() != 40 {
+		t.Errorf("Total = %d, want 40", p.Total())
+	}
+}
+
+func TestWriteBackValidate(t *testing.T) {
+	good := WriteBack{Period: 5 * time.Second, Expire: 30 * time.Second}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid write-back rejected: %v", err)
+	}
+	if good.Nwb() != 6 {
+		t.Errorf("Nwb = %d, want 6", good.Nwb())
+	}
+	bad := []WriteBack{
+		{Period: 0, Expire: 30 * time.Second},
+		{Period: 5 * time.Second, Expire: 0},
+		{Period: 7 * time.Second, Expire: 30 * time.Second},
+	}
+	for i, wb := range bad {
+		if err := wb.Validate(); err == nil {
+			t.Errorf("bad write-back %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,588 @@
+// Package sim is the discrete-event SSD simulator that ties the substrates
+// together: host requests flow through the page cache (buffered) or
+// directly (direct/read) to the FTL over a timed device model; a flusher
+// tick fires every write-back period, running the cache flusher and then
+// the installed BGC policy; background GC executes chunk-by-chunk in the
+// idle gaps between events, exactly the resource model the paper's
+// T_idle/T_gc reasoning assumes.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"jitgc/internal/core"
+	"jitgc/internal/ftl"
+	"jitgc/internal/metrics"
+	"jitgc/internal/pagecache"
+	"jitgc/internal/predictor"
+	"jitgc/internal/trace"
+)
+
+// ramLatency models the host-side cost of completing a buffered write into
+// the page cache without touching the device.
+const ramLatency = 2 * time.Microsecond
+
+// Config assembles a simulation.
+type Config struct {
+	// FTL configures the device (geometry, timing, OP ratio, GC).
+	FTL ftl.Config
+	// Cache configures the page cache model (p, τ_expire, τ_flush).
+	Cache pagecache.Config
+	// PreconditionPages, when positive, sequentially writes this many
+	// logical pages before the measured run (filling the working set the
+	// way the paper's benchmarks run against a half-full SSD) and then
+	// resets the activity counters.
+	PreconditionPages int64
+	// DrainCache, when set, keeps running flusher ticks after the last
+	// request until the cache is empty, so every buffered write reaches
+	// the device and WAF accounting is complete. Enabled by default
+	// configurations.
+	DrainCache bool
+	// RecordTimeline captures one metrics.TimelinePoint per write-back
+	// interval (free space, dirty set, WAF, GC counters, the policy's
+	// decision), retrievable via Simulator.Timeline after the run.
+	RecordTimeline bool
+}
+
+// DefaultConfig returns a ready-to-run scaled configuration: the default
+// NAND geometry with 7% OP, the paper's p = 5 s / τ_expire = 30 s write-back
+// parameters, and preconditioning of half the user capacity.
+func DefaultConfig() Config {
+	fcfg := ftl.DefaultConfig()
+	ccfg := pagecache.DefaultConfig()
+	ccfg.PageSize = fcfg.Geometry.PageSize
+	ccfg.CapacityPages = 1 << 16 // 256 MiB of cache RAM at 4 KiB pages
+	ccfg.FlushRatio = 0.25
+	cfg := Config{FTL: fcfg, Cache: ccfg, DrainCache: true}
+	user := int64(float64(fcfg.Geometry.TotalPages()) / (1 + fcfg.OPRatio))
+	cfg.PreconditionPages = user / 2
+	return cfg
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.FTL.Validate(); err != nil {
+		return err
+	}
+	if err := c.Cache.Validate(); err != nil {
+		return err
+	}
+	if c.Cache.PageSize != c.FTL.Geometry.PageSize {
+		return fmt.Errorf("sim: cache page size %d != NAND page size %d",
+			c.Cache.PageSize, c.FTL.Geometry.PageSize)
+	}
+	if c.PreconditionPages < 0 {
+		return fmt.Errorf("sim: negative precondition %d", c.PreconditionPages)
+	}
+	return nil
+}
+
+// Env is what policy factories receive to wire a policy to the simulated
+// host and device.
+type Env struct {
+	// Cache is the host page cache (the buffered-write predictor scans it).
+	Cache *pagecache.Cache
+	// FTL is the device FTL (for OP capacity and selector installation).
+	FTL *ftl.FTL
+	// WriteBack carries the interval parameters (p, τ_expire).
+	WriteBack predictor.WriteBack
+}
+
+// OPBytes returns the device over-provisioning capacity C_OP.
+func (e *Env) OPBytes() int64 { return e.FTL.OPBytes() }
+
+// PolicyFactory builds a BGC policy bound to a simulation environment.
+type PolicyFactory func(env *Env) (core.Policy, error)
+
+// directObserver is implemented by policies that consume host-side
+// direct-write traffic (JIT-GC).
+type directObserver interface{ ObserveDirect(bytes int64) }
+
+// deviceObserver is implemented by policies that consume device-level write
+// traffic (ADP-GC).
+type deviceObserver interface{ ObserveDeviceWrite(bytes int64) }
+
+// Simulator executes one run. Build with New, execute with Run.
+type Simulator struct {
+	cfg    Config
+	cache  *pagecache.Cache
+	ftl    *ftl.FTL
+	policy core.Policy
+	env    *Env
+
+	parallel float64
+
+	now          time.Duration
+	deviceFreeAt time.Duration
+	pendingBGC   int64 // bytes still to reclaim this interval
+	bgcReadyAt   time.Duration
+	gcRemaining  time.Duration // device time left on a preempted BGC chunk
+
+	hostBusy     time.Duration // cumulative host-driven device time
+	lastHostBusy time.Duration // snapshot at the previous tick
+	idleFrac     float64       // EMA of per-interval device idle share
+
+	acc        *predictor.AccuracyTracker
+	predictive bool
+
+	lat            metrics.LatencyRecorder
+	requests       int64
+	opsEnd         time.Duration
+	lastCompletion time.Duration
+	bufferedPages  int64
+	directPages    int64
+	cacheReadHits  int64
+
+	timeline []metrics.TimelinePoint
+}
+
+// ErrTraceBeyondCapacity is returned when a request addresses pages outside
+// the device's user capacity.
+var ErrTraceBeyondCapacity = errors.New("sim: request beyond user capacity")
+
+// New builds a simulator with a policy from factory.
+func New(cfg Config, factory PolicyFactory) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cache, err := pagecache.New(cfg.Cache)
+	if err != nil {
+		return nil, err
+	}
+	device, err := ftl.New(cfg.FTL)
+	if err != nil {
+		return nil, err
+	}
+	env := &Env{
+		Cache: cache,
+		FTL:   device,
+		WriteBack: predictor.WriteBack{
+			Period: cfg.Cache.FlusherPeriod,
+			Expire: cfg.Cache.Expire,
+		},
+	}
+	policy, err := factory(env)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		cfg:      cfg,
+		cache:    cache,
+		ftl:      device,
+		policy:   policy,
+		env:      env,
+		parallel: float64(cfg.FTL.Geometry.Parallelism()),
+		// Forecasts are scored over the full write-back horizon: a
+		// policy's PredictedBytes is its C_req estimate for the coming
+		// τ_expire window (Table 2's accuracy).
+		acc:      predictor.NewAccuracyTracker(env.WriteBack.Nwb()),
+		idleFrac: 1, // optimistic until the first interval is measured
+	}
+	_, isDirect := policy.(directObserver)
+	_, isDevice := policy.(deviceObserver)
+	s.predictive = isDirect || isDevice
+	return s, nil
+}
+
+// FTL returns the simulated device.
+func (s *Simulator) FTL() *ftl.FTL { return s.ftl }
+
+// Cache returns the simulated page cache.
+func (s *Simulator) Cache() *pagecache.Cache { return s.cache }
+
+// Policy returns the installed BGC policy.
+func (s *Simulator) Policy() core.Policy { return s.policy }
+
+// scale converts serial NAND time into device-occupancy time assuming
+// perfect striping across dies.
+func (s *Simulator) scale(d time.Duration) time.Duration {
+	return time.Duration(float64(d) / s.parallel)
+}
+
+// view adapts the simulator and FTL to the policy-facing DeviceView.
+type view struct{ s *Simulator }
+
+func (v view) FreeBytes() int64        { return v.s.ftl.WritableBytes() }
+func (v view) WriteBandwidth() float64 { return v.s.ftl.WriteBandwidth() }
+func (v view) GCBandwidth() float64    { return v.s.ftl.GCBandwidth() }
+func (v view) IdleFraction() float64   { return v.s.idleFrac }
+
+// Run executes the request stream open-loop: each request's Time field is
+// its absolute arrival time (trace replay).
+func (s *Simulator) Run(reqs []trace.Request) (metrics.Results, error) {
+	if err := trace.ValidateAll(reqs); err != nil {
+		return metrics.Results{}, err
+	}
+	return s.run(reqs, false)
+}
+
+// RunClosedLoop executes the request stream closed-loop, the way the
+// paper's benchmarks drive the SSD: each request's Time field is a *think
+// time* — the gap between the previous request's completion and this
+// request's issue. Device stalls (foreground GC) therefore push all
+// subsequent work later and directly reduce IOPS, while think-time gaps
+// provide the idle periods background GC exploits.
+func (s *Simulator) RunClosedLoop(reqs []trace.Request) (metrics.Results, error) {
+	for i, r := range reqs {
+		if err := r.Validate(); err != nil {
+			return metrics.Results{}, fmt.Errorf("request %d: %w", i, err)
+		}
+	}
+	return s.run(reqs, true)
+}
+
+func (s *Simulator) run(reqs []trace.Request, closed bool) (metrics.Results, error) {
+	if err := s.precondition(); err != nil {
+		return metrics.Results{}, err
+	}
+
+	period := s.cfg.Cache.FlusherPeriod
+	nextTick := period
+	ri := 0
+	for {
+		var arrival time.Duration
+		if ri < len(reqs) {
+			if closed {
+				arrival = s.lastCompletion + reqs[ri].Time
+			} else {
+				arrival = reqs[ri].Time
+			}
+		}
+		var t time.Duration
+		tick := false
+		switch {
+		case ri < len(reqs) && arrival <= nextTick:
+			t = arrival
+		case ri < len(reqs):
+			t, tick = nextTick, true
+		case s.cfg.DrainCache && s.cache.DirtyPageCount() > 0:
+			t, tick = nextTick, true
+		default:
+			return s.results(), nil
+		}
+		s.runBGCUntil(t)
+		if tick {
+			if err := s.handleTick(t); err != nil {
+				return metrics.Results{}, err
+			}
+			nextTick += period
+		} else {
+			r := reqs[ri]
+			r.Time = arrival
+			if err := s.handleRequest(r); err != nil {
+				return metrics.Results{}, err
+			}
+			ri++
+		}
+	}
+}
+
+// precondition sequentially fills the configured working set and resets the
+// counters so measurement starts from a realistic steady occupancy.
+func (s *Simulator) precondition() error {
+	n := s.cfg.PreconditionPages
+	if n == 0 {
+		return nil
+	}
+	if n > s.ftl.UserPages() {
+		return fmt.Errorf("sim: precondition %d pages > user capacity %d", n, s.ftl.UserPages())
+	}
+	for lpn := int64(0); lpn < n; lpn++ {
+		if _, _, err := s.ftl.Write(lpn); err != nil {
+			return fmt.Errorf("sim: precondition write lpn %d: %w", lpn, err)
+		}
+	}
+	s.ftl.ResetStats()
+	return nil
+}
+
+// runBGCUntil executes pending background GC in the idle time before the
+// next event at t. Background GC is preemptible: work that would overlap
+// the next event is suspended (its remaining device time carries over to
+// the next idle window) so arriving host requests are never blocked behind
+// background collection — the defining difference from foreground GC.
+func (s *Simulator) runBGCUntil(t time.Duration) {
+	pageBytes := int64(s.ftl.PageSize())
+	for s.pendingBGC > 0 || s.gcRemaining > 0 {
+		start := s.deviceFreeAt
+		if start < s.bgcReadyAt {
+			start = s.bgcReadyAt
+		}
+		if start >= t {
+			return // no idle time left before the next event
+		}
+		var d time.Duration
+		if s.gcRemaining > 0 {
+			d = s.gcRemaining
+			s.gcRemaining = 0
+		} else {
+			freed, raw, err := s.ftl.CollectBackgroundOnce()
+			if err != nil || freed <= 0 {
+				// No collectible victim or no forward progress: drop the
+				// remaining demand for this interval.
+				s.pendingBGC = 0
+				return
+			}
+			d = s.scale(raw)
+			s.pendingBGC -= freed * pageBytes
+		}
+		if end := start + d; end > t {
+			// Preempt: the host request at t proceeds on time; the
+			// unfinished collection time resumes in the next idle window.
+			s.gcRemaining = end - t
+			s.deviceFreeAt = t
+		} else {
+			s.deviceFreeAt = end
+		}
+	}
+}
+
+// handleRequest services one host request.
+func (s *Simulator) handleRequest(r trace.Request) error {
+	s.now = r.Time
+	s.ftl.SetNow(r.Time)
+	if r.End() > s.ftl.UserPages() {
+		return fmt.Errorf("%w: lpn %d..%d, capacity %d", ErrTraceBeyondCapacity, r.LPN, r.End(), s.ftl.UserPages())
+	}
+	switch r.Kind {
+	case trace.Read:
+		var d time.Duration
+		hits := 0
+		for i := 0; i < r.Pages; i++ {
+			lpn := r.LPN + int64(i)
+			// A dirty page is served from the page cache at RAM speed;
+			// only cache misses touch the device.
+			if s.cache.IsDirty(lpn) {
+				hits++
+				continue
+			}
+			rd, err := s.ftl.Read(lpn)
+			if err != nil {
+				return err
+			}
+			d += rd
+		}
+		s.cacheReadHits += int64(hits)
+		if d == 0 {
+			s.complete(r.Time, r.Time+ramLatency)
+			break
+		}
+		s.completeOnDevice(r.Time, s.scale(d))
+
+	case trace.DirectWrite:
+		var d, fgc time.Duration
+		for i := 0; i < r.Pages; i++ {
+			wd, wf, err := s.ftl.Write(r.LPN + int64(i))
+			if err != nil {
+				return err
+			}
+			d += wd
+			fgc += wf
+		}
+		bytes := int64(r.Pages) * int64(s.ftl.PageSize())
+		s.directPages += int64(r.Pages)
+		s.observeWrite(bytes, true)
+		s.completeOnDevice(r.Time, s.scale(d)+fgc)
+
+	case trace.Trim:
+		// Discards are metadata-only: drop any dirty copies and clear the
+		// FTL mapping; the request completes at RAM speed.
+		for i := 0; i < r.Pages; i++ {
+			lpn := r.LPN + int64(i)
+			s.cache.Drop(lpn)
+			if err := s.ftl.Trim(lpn); err != nil {
+				return err
+			}
+		}
+		s.complete(r.Time, r.Time+ramLatency)
+
+	case trace.BufferedWrite:
+		reclaimed, err := s.cache.Write(r.Time, r.LPN, r.Pages)
+		if err != nil {
+			return err
+		}
+		if len(reclaimed) == 0 {
+			s.complete(r.Time, r.Time+ramLatency)
+			break
+		}
+		// Cache pressure: the writer stalls until the synchronous
+		// write-out of the oldest dirty pages completes. writeBack
+		// advances the device timeline itself.
+		if _, err := s.writeBack(reclaimed); err != nil {
+			return err
+		}
+		s.complete(r.Time, s.deviceFreeAt)
+	}
+	return nil
+}
+
+// handleTick runs the flusher and the BGC policy at a write-back interval
+// boundary.
+func (s *Simulator) handleTick(t time.Duration) error {
+	s.now = t
+	s.ftl.SetNow(t)
+	s.acc.Tick()
+	s.updateIdleFraction()
+
+	if lpns := s.cache.Flush(t); len(lpns) > 0 {
+		if _, err := s.writeBack(lpns); err != nil {
+			return err
+		}
+	}
+
+	free := s.ftl.WritableBytes()
+	dec := s.policy.OnInterval(t, view{s})
+	if dec.HasSIP {
+		s.ftl.SetSIPList(dec.SIP)
+	}
+	s.pendingBGC = dec.ReclaimBytes
+	s.bgcReadyAt = t
+	if s.predictive {
+		s.acc.RecordPrediction(dec.PredictedBytes)
+	}
+	if s.cfg.RecordTimeline {
+		st := s.ftl.Stats()
+		s.timeline = append(s.timeline, metrics.TimelinePoint{
+			T:              t,
+			FreeBytes:      free,
+			DirtyPages:     s.cache.DirtyPageCount(),
+			WAF:            st.WAF(),
+			FGCInvocations: st.FGCInvocations,
+			BGCCollections: st.BGCCollections,
+			ReclaimBytes:   dec.ReclaimBytes,
+			PredictedBytes: dec.PredictedBytes,
+			IdleFraction:   s.idleFrac,
+		})
+	}
+	return nil
+}
+
+// Timeline returns the per-interval samples captured during the run when
+// Config.RecordTimeline is set.
+func (s *Simulator) Timeline() []metrics.TimelinePoint { return s.timeline }
+
+// IntervalActuals returns the device write volume (bytes) of each closed
+// write-back interval of the run — the series an Oracle policy replays.
+func (s *Simulator) IntervalActuals() []int64 { return s.acc.Actuals() }
+
+// updateIdleFraction folds the last interval's host-driven device
+// occupancy into the idle-share estimate policies consult.
+func (s *Simulator) updateIdleFraction() {
+	period := s.cfg.Cache.FlusherPeriod
+	busy := s.hostBusy - s.lastHostBusy
+	s.lastHostBusy = s.hostBusy
+	frac := 1 - float64(busy)/float64(period)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	const alpha = 0.4
+	s.idleFrac = alpha*frac + (1-alpha)*s.idleFrac
+}
+
+// writeBack issues flushed cache pages to the FTL, advancing the device
+// timeline, and returns the device time consumed (striped programs plus
+// serial foreground-GC stalls).
+func (s *Simulator) writeBack(lpns []int64) (time.Duration, error) {
+	var d, fgc time.Duration
+	for _, lpn := range lpns {
+		wd, wf, err := s.ftl.Write(lpn)
+		if err != nil {
+			return 0, err
+		}
+		d += wd
+		fgc += wf
+	}
+	d = s.scale(d) + fgc
+	start := s.deviceFreeAt
+	if start < s.now {
+		start = s.now
+	}
+	s.deviceFreeAt = start + d
+	s.hostBusy += d
+	bytes := int64(len(lpns)) * int64(s.ftl.PageSize())
+	s.bufferedPages += int64(len(lpns))
+	s.observeWrite(bytes, false)
+	return d, nil
+}
+
+// completeOnDevice queues device work of (already occupancy-scaled)
+// duration d for a request arriving at arrival and records its completion.
+func (s *Simulator) completeOnDevice(arrival time.Duration, d time.Duration) {
+	start := arrival
+	if s.deviceFreeAt > start {
+		start = s.deviceFreeAt
+	}
+	s.deviceFreeAt = start + d
+	s.hostBusy += d
+	s.complete(arrival, start+d)
+}
+
+// complete records a host request completion.
+func (s *Simulator) complete(arrival, completion time.Duration) {
+	s.requests++
+	s.lat.Add(completion - arrival)
+	s.lastCompletion = completion
+	if completion > s.opsEnd {
+		s.opsEnd = completion
+	}
+}
+
+// observeWrite feeds policy predictors and accuracy accounting with device
+// write traffic.
+func (s *Simulator) observeWrite(bytes int64, direct bool) {
+	if direct {
+		if o, ok := s.policy.(directObserver); ok {
+			o.ObserveDirect(bytes)
+		}
+	}
+	if o, ok := s.policy.(deviceObserver); ok {
+		o.ObserveDeviceWrite(bytes)
+	}
+	s.acc.AddActual(bytes)
+}
+
+// results assembles the run results.
+func (s *Simulator) results() metrics.Results {
+	st := s.ftl.Stats()
+	simTime := s.opsEnd
+	if s.deviceFreeAt > simTime {
+		simTime = s.deviceFreeAt
+	}
+	res := metrics.Results{
+		Policy:           s.policy.Name(),
+		Requests:         s.requests,
+		SimTime:          simTime,
+		WAF:              st.WAF(),
+		HostPrograms:     st.HostPrograms,
+		GCMigrations:     st.GCMigrations,
+		WastedMigrations: st.WastedMigrations,
+		Erases:           st.Erases,
+		MeanLatency:      s.lat.Mean(),
+		P99Latency:       s.lat.Percentile(99),
+		MaxLatency:       s.lat.Max(),
+		FGCInvocations:   st.FGCInvocations,
+		BGCCollections:   st.BGCCollections,
+		TrimmedPages:     st.Trims,
+		CacheReadHits:    s.cacheReadHits,
+		Predictive:       s.predictive,
+		BufferedPages:    s.bufferedPages,
+		DirectPages:      s.directPages,
+	}
+	if s.opsEnd > 0 {
+		res.IOPS = float64(s.requests) / s.opsEnd.Seconds()
+	}
+	if st.VictimSelections > 0 {
+		res.FilteredVictimPct = 100 * float64(st.FilteredSelections) / float64(st.VictimSelections)
+	}
+	if s.predictive {
+		res.PredictionAccuracy = s.acc.Mean()
+	}
+	minE, maxE, _ := s.ftl.Device().WearStats()
+	res.MinErase, res.MaxErase = minE, maxE
+	return res
+}

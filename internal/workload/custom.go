@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"jitgc/internal/trace"
+)
+
+// Custom is a fully parameterized workload generator for studies beyond the
+// paper's six benchmarks: mix fractions, request sizes, address skew and
+// burst shape are all knobs. The zero value is not usable; start from
+// DefaultCustom.
+type Custom struct {
+	// CustomName labels the workload in results (default "custom").
+	CustomName string
+
+	// ReadFraction of requests are reads; the rest write (before trims).
+	ReadFraction float64
+	// TrimFraction of requests discard a previously written extent.
+	TrimFraction float64
+	// DirectTarget is the direct share of device-level write volume the
+	// stream converges to (Table 1-style).
+	DirectTarget float64
+
+	// MinPages and MaxPages bound the uniform request size.
+	MinPages, MaxPages int
+
+	// ZipfSkew > 1 skews write/read addresses toward a hot set; values
+	// ≤ 1 disable skew (uniform addresses). Typical: 1.01 (mild) – 1.3
+	// (hot).
+	ZipfSkew float64
+	// HotFraction of writes use the zipfian generator; the rest are
+	// uniform over the working set.
+	HotFraction float64
+	// SequentialFraction of writes continue a sequential cursor instead.
+	SequentialFraction float64
+
+	// Burst shape: BurstLen requests per burst with IntraThink gaps,
+	// separated by IdleGap pauses. Lo/Hi bounds are drawn uniformly.
+	BurstLenLo, BurstLenHi     int
+	IntraThinkLo, IntraThinkHi time.Duration
+	IdleGapLo, IdleGapHi       time.Duration
+}
+
+// DefaultCustom returns a moderate mixed workload: 40% reads, 15% direct
+// write volume, mildly skewed addresses, 1–8 page requests, bursty
+// arrivals.
+func DefaultCustom() Custom {
+	return Custom{
+		CustomName:         "custom",
+		ReadFraction:       0.40,
+		TrimFraction:       0.02,
+		DirectTarget:       0.15,
+		MinPages:           1,
+		MaxPages:           8,
+		ZipfSkew:           1.05,
+		HotFraction:        0.5,
+		SequentialFraction: 0.2,
+		BurstLenLo:         1000, BurstLenHi: 2500,
+		IntraThinkLo: 150 * time.Microsecond, IntraThinkHi: 450 * time.Microsecond,
+		IdleGapLo: 1500 * time.Millisecond, IdleGapHi: 4000 * time.Millisecond,
+	}
+}
+
+// Name implements Generator.
+func (c Custom) Name() string {
+	if c.CustomName == "" {
+		return "custom"
+	}
+	return c.CustomName
+}
+
+// validate reports knob errors.
+func (c Custom) validate() error {
+	switch {
+	case c.ReadFraction < 0 || c.ReadFraction > 1:
+		return fmt.Errorf("workload: read fraction %v", c.ReadFraction)
+	case c.TrimFraction < 0 || c.ReadFraction+c.TrimFraction > 1:
+		return fmt.Errorf("workload: trim fraction %v with reads %v", c.TrimFraction, c.ReadFraction)
+	case c.DirectTarget < 0 || c.DirectTarget > 1:
+		return fmt.Errorf("workload: direct target %v", c.DirectTarget)
+	case c.MinPages < 1 || c.MaxPages < c.MinPages:
+		return fmt.Errorf("workload: page range [%d,%d]", c.MinPages, c.MaxPages)
+	case c.HotFraction < 0 || c.HotFraction > 1:
+		return fmt.Errorf("workload: hot fraction %v", c.HotFraction)
+	case c.SequentialFraction < 0 || c.HotFraction+c.SequentialFraction > 1:
+		return fmt.Errorf("workload: sequential fraction %v with hot %v", c.SequentialFraction, c.HotFraction)
+	case c.BurstLenLo < 1 || c.BurstLenHi < c.BurstLenLo:
+		return fmt.Errorf("workload: burst range [%d,%d]", c.BurstLenLo, c.BurstLenHi)
+	case c.IntraThinkLo < 0 || c.IntraThinkHi < c.IntraThinkLo:
+		return fmt.Errorf("workload: intra-think range [%v,%v]", c.IntraThinkLo, c.IntraThinkHi)
+	case c.IdleGapLo < 0 || c.IdleGapHi < c.IdleGapLo:
+		return fmt.Errorf("workload: idle range [%v,%v]", c.IdleGapLo, c.IdleGapHi)
+	}
+	return nil
+}
+
+// Generate implements Generator.
+func (c Custom) Generate(p Params) ([]trace.Request, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	e := newEngine(p.Seed, c.DirectTarget, p.Ops)
+	clock := &burstClock{
+		lenLo: c.BurstLenLo, lenHi: c.BurstLenHi,
+		intraLo: c.IntraThinkLo, intraHi: c.IntraThinkHi,
+		idleLo: c.IdleGapLo, idleHi: c.IdleGapHi,
+	}
+	var zip *zipfLPN
+	if c.ZipfSkew > 1 {
+		zip = newZipfLPN(e.r, p.WorkingSetPages, c.ZipfSkew)
+	}
+	var cursor int64
+	written := make([]int64, 0, 1024) // extents available for trims/reads
+
+	addr := func() int64 {
+		switch roll := e.r.Float64(); {
+		case zip != nil && roll < c.HotFraction:
+			return zip.next(p.WorkingSetPages)
+		case roll < c.HotFraction+c.SequentialFraction:
+			lpn := cursor
+			return lpn
+		default:
+			return e.r.Int63n(p.WorkingSetPages)
+		}
+	}
+
+	for i := 0; i < p.Ops; i++ {
+		e.think(clock.next(e))
+		pages := e.intRange(c.MinPages, c.MaxPages)
+		switch roll := e.r.Float64(); {
+		case roll < c.ReadFraction:
+			var lpn int64
+			if len(written) > 0 {
+				lpn = written[e.r.Intn(len(written))]
+			} else {
+				lpn = e.r.Int63n(p.WorkingSetPages)
+			}
+			lpn, pages = clampExtent(lpn, pages, p.WorkingSetPages)
+			e.emitRead(lpn, pages)
+		case roll < c.ReadFraction+c.TrimFraction && len(written) > 0:
+			lpn := written[e.r.Intn(len(written))]
+			lpn, pages = clampExtent(lpn, pages, p.WorkingSetPages)
+			e.emitTrim(lpn, pages)
+		default:
+			lpn, n := clampExtent(addr(), pages, p.WorkingSetPages)
+			e.emitWrite(lpn, n)
+			cursor = lpn + int64(n)
+			if cursor >= p.WorkingSetPages {
+				cursor = 0
+			}
+			if len(written) < cap(written) {
+				written = append(written, lpn)
+			} else {
+				written[e.r.Intn(len(written))] = lpn
+			}
+		}
+	}
+	return e.reqs, nil
+}

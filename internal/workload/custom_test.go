@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"jitgc/internal/trace"
+)
+
+func TestDefaultCustomGenerates(t *testing.T) {
+	c := DefaultCustom()
+	p := testParams()
+	reqs, err := c.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := checkStream(t, c.Name(), reqs, p)
+	if st.WrittenPages == 0 || st.ReadPages == 0 {
+		t.Errorf("mix missing: %+v", st)
+	}
+	if st.TrimmedPages == 0 {
+		t.Error("no trims despite TrimFraction")
+	}
+}
+
+func TestCustomName(t *testing.T) {
+	c := DefaultCustom()
+	if c.Name() != "custom" {
+		t.Errorf("name = %q", c.Name())
+	}
+	c.CustomName = "mystream"
+	if c.Name() != "mystream" {
+		t.Errorf("name = %q", c.Name())
+	}
+	if (Custom{}).Name() != "custom" {
+		t.Error("zero-value name")
+	}
+}
+
+func TestCustomValidation(t *testing.T) {
+	base := DefaultCustom()
+	mutations := []func(*Custom){
+		func(c *Custom) { c.ReadFraction = -0.1 },
+		func(c *Custom) { c.ReadFraction = 1.1 },
+		func(c *Custom) { c.TrimFraction = 0.9 }, // reads + trims > 1
+		func(c *Custom) { c.DirectTarget = 2 },
+		func(c *Custom) { c.MinPages = 0 },
+		func(c *Custom) { c.MaxPages = 0 },
+		func(c *Custom) { c.HotFraction = 1.5 },
+		func(c *Custom) { c.SequentialFraction = 0.9 }, // hot + seq > 1
+		func(c *Custom) { c.BurstLenLo = 0 },
+		func(c *Custom) { c.IntraThinkHi = -time.Second },
+		func(c *Custom) { c.IdleGapLo = time.Hour; c.IdleGapHi = time.Second },
+	}
+	for i, m := range mutations {
+		c := base
+		m(&c)
+		if _, err := c.Generate(testParams()); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	if _, err := base.Generate(Params{}); err == nil {
+		t.Error("zero params accepted")
+	}
+}
+
+func TestCustomDirectTargetConverges(t *testing.T) {
+	c := DefaultCustom()
+	c.DirectTarget = 0.40
+	c.ZipfSkew = 0 // uniform addresses
+	c.HotFraction = 0
+	c.TrimFraction = 0
+	// A huge working set makes rewrites rare, so the issue-level split
+	// matches the device-level target the balancer aims for.
+	reqs, err := c.Generate(Params{Seed: 1, Ops: 20000, WorkingSetPages: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trace.Summarize(reqs)
+	if math.Abs(st.DirectRatio-0.40) > 0.05 {
+		t.Errorf("direct ratio = %v, want ≈ 0.40", st.DirectRatio)
+	}
+}
+
+func TestCustomPureSequential(t *testing.T) {
+	c := DefaultCustom()
+	c.ZipfSkew = 0
+	c.HotFraction = 0
+	c.SequentialFraction = 1.0
+	c.ReadFraction = 0
+	c.TrimFraction = 0
+	reqs, err := c.Generate(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consecutive writes continue from the cursor.
+	runs := 0
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].LPN == reqs[i-1].End() {
+			runs++
+		}
+	}
+	if float64(runs)/float64(len(reqs)) < 0.9 {
+		t.Errorf("only %d/%d sequential continuations", runs, len(reqs))
+	}
+}
+
+func TestCustomRunsThroughSimulator(t *testing.T) {
+	// The custom generator must satisfy the Generator contract end to end.
+	var g Generator = DefaultCustom()
+	p := Params{Seed: 3, Ops: 3000, WorkingSetPages: 8000}
+	reqs, err := g.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reqs {
+		if err := r.Validate(); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+}
