@@ -1,0 +1,27 @@
+# Development targets for the jitgc reproduction.
+#
+# `make ci` is the gate every change must pass: it builds everything, vets
+# it, and runs the full test suite under the race detector — the experiment
+# grids execute simulation cells concurrently (Options.Workers), so
+# race-cleanliness is a correctness requirement, not a style preference.
+
+GO ?= go
+
+.PHONY: ci build vet test test-race bench
+
+ci: build vet test-race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"jitgc"
 	"jitgc/internal/metrics"
@@ -31,12 +32,19 @@ func main() {
 		factor   = flag.Float64("factor", 1.0, "C_resv factor for -policy fixed (× C_OP)")
 		ops      = flag.Int("ops", 0, "number of host requests (default 100000)")
 		seed     = flag.Int64("seed", 1, "workload generation seed")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent runs for grid-style callers (a single simulation uses one)")
 		noSIP    = flag.Bool("no-sip", false, "disable SIP victim filtering (JIT-GC only)")
 		timeline = flag.String("timeline", "", "write per-interval state samples to this CSV file")
 		traceIn  = flag.String("trace", "", "replay this trace file instead of a synthetic benchmark (jitgc text format, or MSR CSV with -msr)")
 		msr      = flag.Bool("msr", false, "parse -trace as an MSR-Cambridge CSV block trace")
 	)
 	flag.Parse()
+
+	if *workers < 1 {
+		fmt.Fprintf(os.Stderr, "jitgcsim: -workers must be at least 1, got %d\n", *workers)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	spec := jitgc.PolicySpec{Kind: *policy, Factor: *factor, DisableSIP: *noSIP}
 	var (
@@ -47,7 +55,7 @@ func main() {
 	case *traceIn != "":
 		res, err = replayTraceFile(*traceIn, *msr, spec, *timeline)
 	default:
-		res, err = runBenchmark(*bench, spec, jitgc.Options{Seed: *seed, Ops: *ops}, *timeline)
+		res, err = runBenchmark(*bench, spec, jitgc.Options{Seed: *seed, Ops: *ops, Workers: *workers}, *timeline)
 	}
 	if err != nil {
 		log.Fatal(err)

@@ -3,9 +3,13 @@
 //
 // Usage:
 //
-//	paperbench [-exp id[,id...]] [-ops N] [-seed S] [-list]
+//	paperbench [-exp id[,id...]] [-ops N] [-seed S] [-workers W] [-list]
 //
-// With no -exp it runs every experiment in presentation order.
+// With no -exp it runs every experiment in presentation order. The
+// independent simulation cells of each experiment grid fan out over
+// -workers goroutines (default: GOMAXPROCS); output is byte-identical for
+// every worker count. Exits non-zero when any table carries a warning
+// (e.g. a degenerate normalization baseline).
 package main
 
 import (
@@ -13,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -24,10 +29,11 @@ func main() {
 	log.SetPrefix("paperbench: ")
 
 	var (
-		expIDs = flag.String("exp", "", "comma-separated experiment ids (default: all)")
-		ops    = flag.Int("ops", 0, "requests per benchmark run (default 100000)")
-		seed   = flag.Int64("seed", 1, "workload generation seed")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
+		expIDs  = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		ops     = flag.Int("ops", 0, "requests per benchmark run (default 100000)")
+		seed    = flag.Int64("seed", 1, "workload generation seed")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation runs per experiment grid")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
 
@@ -38,6 +44,10 @@ func main() {
 		return
 	}
 
+	if *workers < 1 {
+		usageError("-workers must be at least 1, got %d", *workers)
+	}
+
 	var exps []jitgc.Experiment
 	if *expIDs == "" {
 		exps = jitgc.Experiments()
@@ -45,13 +55,14 @@ func main() {
 		for _, id := range strings.Split(*expIDs, ",") {
 			e, err := jitgc.ExperimentByID(strings.TrimSpace(id))
 			if err != nil {
-				log.Fatal(err)
+				usageError("unknown experiment id %q", strings.TrimSpace(id))
 			}
 			exps = append(exps, e)
 		}
 	}
 
-	opt := jitgc.Options{Seed: *seed, Ops: *ops}
+	opt := jitgc.Options{Seed: *seed, Ops: *ops, Workers: *workers}
+	var warnings int
 	for _, e := range exps {
 		start := time.Now()
 		tables, err := e.Run(opt)
@@ -61,6 +72,20 @@ func main() {
 		fmt.Printf("=== %s — %s (%.1fs)\n\n", e.ID, e.Title, time.Since(start).Seconds())
 		for _, t := range tables {
 			fmt.Fprintln(os.Stdout, t.String())
+			warnings += len(t.Notes)
 		}
 	}
+	if warnings > 0 {
+		log.Printf("%d table warning(s) emitted — inspect the n/a cells above", warnings)
+		os.Exit(1)
+	}
+}
+
+// usageError prints a flag-validation error plus the valid experiment ids
+// and exits with the conventional usage status.
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "paperbench: %s\n", fmt.Sprintf(format, args...))
+	fmt.Fprintf(os.Stderr, "usage: paperbench [-exp id[,id...]] [-ops N] [-seed S] [-workers W] [-list]\n")
+	fmt.Fprintf(os.Stderr, "valid experiment ids: %s\n", strings.Join(jitgc.ExperimentIDs(), ", "))
+	os.Exit(2)
 }

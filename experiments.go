@@ -2,6 +2,8 @@ package jitgc
 
 import (
 	"fmt"
+	"math"
+	"strings"
 	"time"
 
 	"jitgc/internal/core"
@@ -51,28 +53,54 @@ func ExperimentByID(id string) (Experiment, error) {
 			return e, nil
 		}
 	}
-	return Experiment{}, fmt.Errorf("jitgc: unknown experiment %q", id)
+	return Experiment{}, fmt.Errorf("jitgc: unknown experiment %q (valid ids: %s)",
+		id, strings.Join(ExperimentIDs(), ", "))
+}
+
+// ExperimentIDs returns every experiment ID in presentation order.
+func ExperimentIDs() []string {
+	exps := Experiments()
+	ids := make([]string, len(exps))
+	for i, e := range exps {
+		ids[i] = e.ID
+	}
+	return ids
 }
 
 // fig2Factors is the reserved-capacity sweep of the paper's Fig. 2.
 var fig2Factors = []float64{0.5, 0.75, 1.0, 1.25, 1.5}
 
 // runFig2 executes the Cresv sweep for every benchmark and returns the
-// result grid indexed [benchmark][factor].
+// result grid indexed [benchmark][factor]. The benchmark×factor cells are
+// independent simulations, so they fan out over opt.Workers.
 func runFig2(opt Options) (map[string][]Results, error) {
-	grid := make(map[string][]Results)
-	for _, b := range Benchmarks() {
-		row := make([]Results, 0, len(fig2Factors))
-		for _, f := range fig2Factors {
-			res, err := Run(b, Fixed(f), opt)
-			if err != nil {
-				return nil, fmt.Errorf("fig2 %s ×%.2f: %w", b, f, err)
-			}
-			row = append(row, res)
+	benches := Benchmarks()
+	grid := make(map[string][]Results, len(benches))
+	for _, b := range benches {
+		grid[b] = make([]Results, len(fig2Factors))
+	}
+	err := runGrid(opt, len(benches)*len(fig2Factors), func(i int) error {
+		b, fi := benches[i/len(fig2Factors)], i%len(fig2Factors)
+		res, err := Run(b, Fixed(fig2Factors[fi]), opt)
+		if err != nil {
+			return fmt.Errorf("fig2 %s ×%.2f: %w", b, fig2Factors[fi], err)
 		}
-		grid[b] = row
+		grid[b][fi] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return grid, nil
+}
+
+// normCell formats a normalized metric, degrading to "n/a" when the
+// baseline was degenerate (zero IOPS or WAF yields NaN/Inf ratios).
+func normCell(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3f", v)
 }
 
 func fig2Table(opt Options, title string, metric func(r, base Results) float64) ([]Table, error) {
@@ -88,8 +116,17 @@ func fig2Table(opt Options, title string, metric func(r, base Results) float64) 
 		row := grid[b]
 		base := row[len(row)-1] // normalize over 1.5×OP (= A-BGC), like the paper
 		cells := []string{b}
+		degenerate := false
 		for _, r := range row {
-			cells = append(cells, fmt.Sprintf("%.3f", metric(r, base)))
+			v := metric(r, base)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				degenerate = true
+			}
+			cells = append(cells, normCell(v))
+		}
+		if degenerate {
+			t.AddNote("%s: degenerate baseline (IOPS=%.0f, WAF=%.3f) — normalized cells reported as n/a",
+				b, base.IOPS, base.WAF)
 		}
 		t.AddRow(cells...)
 	}
@@ -111,30 +148,51 @@ func table1(opt Options) ([]Table, error) {
 		Title:   "Table 1: device-level write breakdown (paper: 88.2/81.7/85.8/72.4/46.3/0.1 % buffered)",
 		Columns: []string{"benchmark", "buffered %", "direct %"},
 	}
-	for _, b := range Benchmarks() {
-		res, err := Run(b, Lazy(), opt)
+	benches := Benchmarks()
+	rows := make([]Results, len(benches))
+	err := runGrid(opt, len(benches), func(i int) error {
+		res, err := Run(benches[i], Lazy(), opt)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		rows[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
 		t.AddRow(b,
-			fmt.Sprintf("%.1f", 100*res.BufferedRatio()),
-			fmt.Sprintf("%.1f", 100*(1-res.BufferedRatio())))
+			fmt.Sprintf("%.1f", 100*rows[i].BufferedRatio()),
+			fmt.Sprintf("%.1f", 100*(1-rows[i].BufferedRatio())))
 	}
 	return []Table{t}, nil
 }
 
 // evaluation runs the four Fig. 7 policies over all benchmarks once and is
-// shared by fig7a/fig7b/table2/table3.
+// shared by fig7a/fig7b/table2/table3. All benchmark×policy cells fan out
+// over opt.Workers into pre-indexed slots.
 func evaluation(opt Options) (map[string]map[string]Results, error) {
 	policies := []PolicySpec{Lazy(), Aggressive(), ADP(), JIT()}
-	out := make(map[string]map[string]Results)
-	for _, b := range Benchmarks() {
+	benches := Benchmarks()
+	slots := make([]Results, len(benches)*len(policies))
+	err := runGrid(opt, len(slots), func(i int) error {
+		b, p := benches[i/len(policies)], policies[i%len(policies)]
+		res, err := Run(b, p, opt)
+		if err != nil {
+			return fmt.Errorf("evaluation %s/%s: %w", b, p.Kind, err)
+		}
+		slots[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]map[string]Results, len(benches))
+	for bi, b := range benches {
 		out[b] = make(map[string]Results, len(policies))
-		for _, p := range policies {
-			res, err := Run(b, p, opt)
-			if err != nil {
-				return nil, fmt.Errorf("evaluation %s/%s: %w", b, p.Kind, err)
-			}
+		for pi := range policies {
+			res := slots[bi*len(policies)+pi]
 			out[b][res.Policy] = res
 		}
 	}
@@ -150,8 +208,17 @@ func fig7Table(opt Options, title string, metric func(r, base Results) float64) 
 	for _, b := range Benchmarks() {
 		base := eval[b]["A-BGC"]
 		cells := []string{b}
+		degenerate := false
 		for _, p := range []string{"L-BGC", "A-BGC", "ADP-GC", "JIT-GC"} {
-			cells = append(cells, fmt.Sprintf("%.3f", metric(eval[b][p], base)))
+			v := metric(eval[b][p], base)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				degenerate = true
+			}
+			cells = append(cells, normCell(v))
+		}
+		if degenerate {
+			t.AddNote("%s: degenerate A-BGC baseline (IOPS=%.0f, WAF=%.3f) — normalized cells reported as n/a",
+				b, base.IOPS, base.WAF)
 		}
 		t.AddRow(cells...)
 	}
@@ -173,18 +240,24 @@ func table2(opt Options) ([]Table, error) {
 		Title:   "Table 2: prediction accuracy % (paper JIT: 98.9/93.2/97.3/89.8/86.1/72.5; ADP: 87.7/72.8/82.0/73.4/74.1/71.2)",
 		Columns: []string{"benchmark", "JIT-GC", "ADP-GC"},
 	}
-	for _, b := range Benchmarks() {
-		jit, err := Run(b, JIT(), opt)
+	benches := Benchmarks()
+	specs := []PolicySpec{JIT(), ADP()}
+	slots := make([]Results, len(benches)*len(specs))
+	err := runGrid(opt, len(slots), func(i int) error {
+		res, err := Run(benches[i/len(specs)], specs[i%len(specs)], opt)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		adp, err := Run(b, ADP(), opt)
-		if err != nil {
-			return nil, err
-		}
+		slots[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bi, b := range benches {
 		t.AddRow(b,
-			fmt.Sprintf("%.1f", 100*jit.PredictionAccuracy),
-			fmt.Sprintf("%.1f", 100*adp.PredictionAccuracy))
+			fmt.Sprintf("%.1f", 100*slots[bi*len(specs)].PredictionAccuracy),
+			fmt.Sprintf("%.1f", 100*slots[bi*len(specs)+1].PredictionAccuracy))
 	}
 	return []Table{t}, nil
 }
@@ -194,14 +267,23 @@ func table3(opt Options) ([]Table, error) {
 		Title:   "Table 3: SIP-filtered GC victim selections % (paper: 12.2/20.6/17.5/8.7/4.9/1.1)",
 		Columns: []string{"benchmark", "filtered %", "wasted migrations avoided"},
 	}
-	for _, b := range Benchmarks() {
-		res, err := Run(b, JIT(), opt)
+	benches := Benchmarks()
+	rows := make([]Results, len(benches))
+	err := runGrid(opt, len(benches), func(i int) error {
+		res, err := Run(benches[i], JIT(), opt)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		rows[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
 		t.AddRow(b,
-			fmt.Sprintf("%.1f", res.FilteredVictimPct),
-			fmt.Sprintf("%d", res.WastedMigrations))
+			fmt.Sprintf("%.1f", rows[i].FilteredVictimPct),
+			fmt.Sprintf("%d", rows[i].WastedMigrations))
 	}
 	return []Table{t}, nil
 }
@@ -363,24 +445,37 @@ func oracleAnchor(opt Options) ([]Table, error) {
 		Title:   "Ideal-policy anchor (values normalized to A-BGC)",
 		Columns: []string{"benchmark", "oracle IOPS", "JIT IOPS", "oracle WAF", "JIT WAF", "oracle FGC", "JIT FGC"},
 	}
-	for _, b := range Benchmarks() {
-		base, err := Run(b, Aggressive(), opt)
-		if err != nil {
-			return nil, err
+	benches := Benchmarks()
+	const perBench = 3 // A-BGC baseline, JIT-GC, oracle
+	slots := make([]Results, len(benches)*perBench)
+	err := runGrid(opt, len(slots), func(i int) error {
+		b := benches[i/perBench]
+		var res Results
+		var err error
+		switch i % perBench {
+		case 0:
+			res, err = Run(b, Aggressive(), opt)
+		case 1:
+			res, err = Run(b, JIT(), opt)
+		case 2:
+			res, err = RunOracle(b, opt)
 		}
-		jit, err := Run(b, JIT(), opt)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("oracle anchor %s: %w", b, err)
 		}
-		oracle, err := RunOracle(b, opt)
-		if err != nil {
-			return nil, err
-		}
+		slots[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bi, b := range benches {
+		base, jit, oracle := slots[bi*perBench], slots[bi*perBench+1], slots[bi*perBench+2]
 		t.AddRow(b,
-			fmt.Sprintf("%.3f", oracle.NormalizedIOPS(base)),
-			fmt.Sprintf("%.3f", jit.NormalizedIOPS(base)),
-			fmt.Sprintf("%.3f", oracle.NormalizedWAF(base)),
-			fmt.Sprintf("%.3f", jit.NormalizedWAF(base)),
+			normCell(oracle.NormalizedIOPS(base)),
+			normCell(jit.NormalizedIOPS(base)),
+			normCell(oracle.NormalizedWAF(base)),
+			normCell(jit.NormalizedWAF(base)),
 			fmt.Sprintf("%d", oracle.FGCInvocations),
 			fmt.Sprintf("%d", jit.FGCInvocations))
 	}
@@ -400,23 +495,50 @@ func lifetime(opt Options) ([]Table, error) {
 		Title:   fmt.Sprintf("Host data served before wear-out (erase budget %d per block), normalized to A-BGC", enduranceLimit),
 		Columns: []string{"benchmark", "L-BGC", "A-BGC", "JIT-GC", "A-BGC MB"},
 	}
-	for _, b := range []string{"YCSB", "Postmark", "TPC-C"} {
+	benches := []string{"YCSB", "Postmark", "TPC-C"}
+	policies := []PolicySpec{Lazy(), Aggressive(), JIT()}
+	slots := make([]LifetimeResult, len(benches)*len(policies))
+	err := runGrid(opt, len(slots), func(i int) error {
+		b, p := benches[i/len(policies)], policies[i%len(policies)]
+		res, err := RunUntilWearOut(b, p, enduranceLimit, opt)
+		if err != nil {
+			return fmt.Errorf("lifetime %s/%s: %w", b, p.Kind, err)
+		}
+		slots[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bi, b := range benches {
 		rows := map[string]LifetimeResult{}
-		for _, p := range []PolicySpec{Lazy(), Aggressive(), JIT()} {
-			res, err := RunUntilWearOut(b, p, enduranceLimit, opt)
-			if err != nil {
-				return nil, fmt.Errorf("lifetime %s/%s: %w", b, p.Kind, err)
-			}
+		for pi := range policies {
+			res := slots[bi*len(policies)+pi]
 			rows[res.Policy] = res
 		}
 		base := float64(rows["A-BGC"].HostBytesWritten)
+		if base == 0 {
+			t.AddNote("%s: A-BGC served zero host bytes — normalized cells reported as n/a", b)
+		}
+		baseCell := "1.000"
+		if base == 0 {
+			baseCell = "n/a"
+		}
 		t.AddRow(b,
-			fmt.Sprintf("%.2f", float64(rows["L-BGC"].HostBytesWritten)/base),
-			"1.000",
-			fmt.Sprintf("%.2f", float64(rows["JIT-GC"].HostBytesWritten)/base),
+			normLifetimeCell(float64(rows["L-BGC"].HostBytesWritten), base),
+			baseCell,
+			normLifetimeCell(float64(rows["JIT-GC"].HostBytesWritten), base),
 			fmt.Sprintf("%.0f", base/1e6))
 	}
 	return []Table{t}, nil
+}
+
+// normLifetimeCell renders v/base with a degenerate-baseline guard.
+func normLifetimeCell(v, base float64) string {
+	if base == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f", v/base)
 }
 
 // ablationSIP compares full JIT-GC against JIT-GC without SIP forwarding.
@@ -425,17 +547,24 @@ func ablationSIP(opt Options) ([]Table, error) {
 		Title:   "Ablation: SIP victim filtering (JIT-GC with vs without the SIP list)",
 		Columns: []string{"benchmark", "WAF with SIP", "WAF without", "wasted migr. with", "wasted migr. without"},
 	}
-	for _, b := range Benchmarks() {
-		with, err := Run(b, JIT(), opt)
+	benches := Benchmarks()
+	noSIP := JIT()
+	noSIP.DisableSIP = true
+	specs := []PolicySpec{JIT(), noSIP}
+	slots := make([]Results, len(benches)*len(specs))
+	err := runGrid(opt, len(slots), func(i int) error {
+		res, err := Run(benches[i/len(specs)], specs[i%len(specs)], opt)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		spec := JIT()
-		spec.DisableSIP = true
-		without, err := Run(b, spec, opt)
-		if err != nil {
-			return nil, err
-		}
+		slots[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bi, b := range benches {
+		with, without := slots[bi*len(specs)], slots[bi*len(specs)+1]
 		t.AddRow(b,
 			fmt.Sprintf("%.3f", with.WAF), fmt.Sprintf("%.3f", without.WAF),
 			fmt.Sprintf("%d", with.WastedMigrations), fmt.Sprintf("%d", without.WastedMigrations))
@@ -450,14 +579,25 @@ func ablationPercentile(opt Options) ([]Table, error) {
 		Title:   "Ablation: direct-write CDH percentile (paper argues 80% balances IOPS and WAF)",
 		Columns: []string{"benchmark", "pct", "IOPS", "WAF", "FGC"},
 	}
-	for _, b := range []string{"Tiobench", "TPC-C"} { // the direct-write-heavy pair
-		for _, pct := range []float64{0.5, 0.8, 0.95} {
-			spec := JIT()
-			spec.JIT = core.JITOptions{Percentile: pct}
-			res, err := Run(b, spec, opt)
-			if err != nil {
-				return nil, err
-			}
+	benches := []string{"Tiobench", "TPC-C"} // the direct-write-heavy pair
+	pcts := []float64{0.5, 0.8, 0.95}
+	slots := make([]Results, len(benches)*len(pcts))
+	err := runGrid(opt, len(slots), func(i int) error {
+		spec := JIT()
+		spec.JIT = core.JITOptions{Percentile: pcts[i%len(pcts)]}
+		res, err := Run(benches[i/len(pcts)], spec, opt)
+		if err != nil {
+			return err
+		}
+		slots[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bi, b := range benches {
+		for pi, pct := range pcts {
+			res := slots[bi*len(pcts)+pi]
 			t.AddRow(b, fmt.Sprintf("%.0f%%", 100*pct),
 				fmt.Sprintf("%.0f", res.IOPS), fmt.Sprintf("%.3f", res.WAF),
 				fmt.Sprintf("%d", res.FGCInvocations))
@@ -473,17 +613,24 @@ func ablationFlush(opt Options) ([]Table, error) {
 		Title:   "Ablation: relaxed vs strict flush-condition prediction (strict under-predicts → FGC)",
 		Columns: []string{"benchmark", "relaxed FGC", "strict FGC", "relaxed acc %", "strict acc %"},
 	}
-	for _, b := range []string{"YCSB", "Postmark", "Filebench"} { // buffered-heavy trio
-		relaxed, err := Run(b, JIT(), opt)
+	benches := []string{"YCSB", "Postmark", "Filebench"} // buffered-heavy trio
+	strictSpec := JIT()
+	strictSpec.JIT = core.JITOptions{StrictFlushPrediction: true}
+	specs := []PolicySpec{JIT(), strictSpec}
+	slots := make([]Results, len(benches)*len(specs))
+	err := runGrid(opt, len(slots), func(i int) error {
+		res, err := Run(benches[i/len(specs)], specs[i%len(specs)], opt)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		spec := JIT()
-		spec.JIT = core.JITOptions{StrictFlushPrediction: true}
-		strict, err := Run(b, spec, opt)
-		if err != nil {
-			return nil, err
-		}
+		slots[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bi, b := range benches {
+		relaxed, strict := slots[bi*len(specs)], slots[bi*len(specs)+1]
 		t.AddRow(b,
 			fmt.Sprintf("%d", relaxed.FGCInvocations), fmt.Sprintf("%d", strict.FGCInvocations),
 			fmt.Sprintf("%.1f", 100*relaxed.PredictionAccuracy), fmt.Sprintf("%.1f", 100*strict.PredictionAccuracy))
@@ -498,18 +645,30 @@ func ablationVictim(opt Options) ([]Table, error) {
 		Title:   "Ablation: GC victim selector under L-BGC",
 		Columns: []string{"benchmark", "selector", "WAF", "erases"},
 	}
-	for _, b := range []string{"YCSB", "Postmark", "TPC-C"} {
-		for _, sel := range []string{"greedy", "cost-benefit"} {
-			opt2 := opt
-			cfg, _ := opt.withDefaults().simConfig()
-			if sel == "cost-benefit" {
-				cfg.FTL.Selector = ftl.CostBenefit{}
-			}
-			opt2.Config = &cfg
-			res, err := Run(b, Lazy(), opt2)
-			if err != nil {
-				return nil, err
-			}
+	benches := []string{"YCSB", "Postmark", "TPC-C"}
+	selectors := []string{"greedy", "cost-benefit"}
+	slots := make([]Results, len(benches)*len(selectors))
+	err := runGrid(opt, len(slots), func(i int) error {
+		sel := selectors[i%len(selectors)]
+		opt2 := opt
+		cfg, _ := opt.withDefaults().simConfig()
+		if sel == "cost-benefit" {
+			cfg.FTL.Selector = ftl.CostBenefit{}
+		}
+		opt2.Config = &cfg
+		res, err := Run(benches[i/len(selectors)], Lazy(), opt2)
+		if err != nil {
+			return err
+		}
+		slots[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bi, b := range benches {
+		for si, sel := range selectors {
+			res := slots[bi*len(selectors)+si]
 			t.AddRow(b, sel, fmt.Sprintf("%.3f", res.WAF), fmt.Sprintf("%d", res.Erases))
 		}
 	}

@@ -72,15 +72,77 @@ func TestEmptyHistogram(t *testing.T) {
 	}
 }
 
-func TestLastBinIsOpenEnded(t *testing.T) {
-	h, _ := New(10, 4) // bins [0,10) [10,20) [20,30) [30,∞)
+// TestOverflowBinRecordsTrueMaximum is the regression test for the silent
+// clamp bug: a sample beyond the binned range used to be folded into the
+// last bin, so ValueAtPercentile reported the last bin edge (40 here) and
+// the predictor under-reserved for exactly the burst that overflowed.
+func TestOverflowBinRecordsTrueMaximum(t *testing.T) {
+	h, _ := New(10, 4) // bins [0,10) [10,20) [20,30) [30,40); ≥40 overflows
 	h.Add(1e9)
 	bins := h.Bins()
-	if bins[3] != 1 {
-		t.Errorf("huge sample not in last bin: %v", bins)
+	if bins[3] != 0 {
+		t.Errorf("huge sample clamped into last bin: %v", bins)
 	}
-	if got := h.ValueAtPercentile(1.0); got != 40 {
-		t.Errorf("percentile of open-ended bin = %v, want 40 (last upper edge)", got)
+	if got := h.Overflow(); got != 1 {
+		t.Errorf("Overflow() = %d, want 1", got)
+	}
+	if got := h.Count(); got != 1 {
+		t.Errorf("Count() = %d, want 1 (overflow samples retained)", got)
+	}
+	if got := h.ValueAtPercentile(1.0); got != 1e9 {
+		t.Errorf("percentile in overflow = %v, want the true maximum 1e9", got)
+	}
+	if got := h.Max(); got != 1e9 {
+		t.Errorf("Max() = %v, want 1e9", got)
+	}
+}
+
+// TestFig5HistoryWithBurst replays a Fig. 5-shaped window history plus one
+// out-of-range direct-write burst: the 80th percentile must stay at the
+// paper's 20 MB reserve while the top percentile upper-bounds the burst
+// instead of clamping it to the binned range (the old behaviour returned
+// the last bin edge, 160).
+func TestFig5HistoryWithBurst(t *testing.T) {
+	h, err := New(10, 16) // binned range [0,160); the burst is beyond it
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{10, 20, 20, 20, 80} {
+		h.Add(v - 0.001)
+	}
+	h.Add(300) // out-of-range burst
+	if got := h.ValueAtPercentile(4.0 / 6.0); got != 20 {
+		t.Errorf("ValueAtPercentile(4/6) = %v, want 20 (in-range percentiles keep the paper's reserve)", got)
+	}
+	if got := h.ValueAtPercentile(5.0 / 6.0); got != 80 {
+		t.Errorf("ValueAtPercentile(5/6) = %v, want 80", got)
+	}
+	if got := h.ValueAtPercentile(1.0); got != 300 {
+		t.Errorf("ValueAtPercentile(1.0) = %v, want 300 (true burst volume, not the 160 clamp)", got)
+	}
+	if got := h.Overflow(); got != 1 {
+		t.Errorf("Overflow() = %d, want 1", got)
+	}
+}
+
+// TestWindowedOverflowEviction checks that evicting an overflow sample
+// shrinks the overflow bin and re-derives the maximum from what remains.
+func TestWindowedOverflowEviction(t *testing.T) {
+	h, _ := NewWindowed(10, 4, 2) // binned range [0,40)
+	h.Add(500)
+	h.Add(5)
+	if h.Overflow() != 1 || h.ValueAtPercentile(1.0) != 500 {
+		t.Fatalf("overflow=%d p100=%v, want 1/500", h.Overflow(), h.ValueAtPercentile(1.0))
+	}
+	h.Add(15) // evicts the 500 burst
+	if h.Overflow() != 0 {
+		t.Errorf("Overflow() = %d after evicting the only overflow sample", h.Overflow())
+	}
+	if got := h.ValueAtPercentile(1.0); got != 20 {
+		t.Errorf("ValueAtPercentile(1.0) = %v, want 20 (bin edge once overflow drains)", got)
+	}
+	if got := h.Max(); got != 15 {
+		t.Errorf("Max() = %v, want 15 (recomputed from retained samples)", got)
 	}
 }
 
@@ -148,8 +210,9 @@ func TestStringSummarizesNonEmptyBins(t *testing.T) {
 	}
 }
 
-// Property: the CDH is monotone non-decreasing and ends at 1 for any
-// non-empty sample set.
+// Property: the CDH is monotone non-decreasing and ends at the in-range
+// fraction 1 − overflow/total for any non-empty sample set (exactly 1 when
+// nothing overflowed).
 func TestCDHMonotoneProperty(t *testing.T) {
 	f := func(raw []uint16) bool {
 		if len(raw) == 0 {
@@ -170,7 +233,8 @@ func TestCDHMonotoneProperty(t *testing.T) {
 			}
 			prev = v
 		}
-		return math.Abs(cdh[len(cdh)-1]-1.0) < 1e-9
+		want := 1.0 - float64(h.Overflow())/float64(h.Count())
+		return math.Abs(cdh[len(cdh)-1]-want) < 1e-9
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -194,17 +258,49 @@ func TestPercentileCoverageProperty(t *testing.T) {
 		}
 		edge := h.ValueAtPercentile(p)
 		covered := 0
-		lastEdge := 16.0 * 5
 		for _, v := range raw {
-			x := float64(v)
-			if x >= lastEdge { // open-ended samples count as covered at the top edge
-				x = lastEdge - 1
-			}
-			if x < edge {
+			// Reserving edge covers any window that wrote at most edge:
+			// in-range samples sit strictly below their bin's upper edge,
+			// and overflow samples are bounded by the tracked maximum.
+			if float64(v) <= edge {
 				covered++
 			}
 		}
 		return float64(covered) >= p*float64(len(raw))-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: across any windowed Add/Reset sequence the mass balance
+// total == Σcounts + overflow holds, and the overflow bin never exceeds
+// the total.
+func TestWindowMassBalanceProperty(t *testing.T) {
+	f := func(raw []uint16, windowRaw, resetAt uint8) bool {
+		window := int(windowRaw%16) + 1
+		h, err := NewWindowed(3, 8, window)
+		if err != nil {
+			return false
+		}
+		check := func() bool {
+			var sum uint64
+			for _, c := range h.Bins() {
+				sum += c
+			}
+			return h.Count() == sum+h.Overflow() && h.Overflow() <= h.Count()
+		}
+		for i, v := range raw {
+			if resetAt > 0 && i == int(resetAt)%(len(raw)+1) {
+				h.Reset()
+			}
+			h.Add(float64(v))
+			if !check() {
+				return false
+			}
+		}
+		h.Reset()
+		return check() && h.Count() == 0
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

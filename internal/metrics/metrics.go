@@ -164,10 +164,19 @@ type Table struct {
 	Title   string
 	Columns []string
 	Rows    [][]string
+	// Notes are warnings rendered under the table (e.g. a degenerate
+	// normalization baseline); reporting tools treat their presence as a
+	// non-zero-exit condition.
+	Notes []string
 }
 
 // AddRow appends one row.
 func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a warning note.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
 
 // String renders the table.
 func (t *Table) String() string {
@@ -203,6 +212,9 @@ func (t *Table) String() string {
 	writeRow(sep)
 	for _, row := range t.Rows {
 		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "warning: %s\n", n)
 	}
 	return b.String()
 }

@@ -117,6 +117,19 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
+func TestTableNotesRenderAsWarnings(t *testing.T) {
+	tb := Table{Title: "demo", Columns: []string{"a"}}
+	tb.AddRow("1")
+	tb.AddNote("degenerate baseline for %s", "YCSB")
+	out := tb.String()
+	if !strings.Contains(out, "warning: degenerate baseline for YCSB") {
+		t.Errorf("note not rendered:\n%s", out)
+	}
+	if len(tb.Notes) != 1 {
+		t.Errorf("Notes = %v", tb.Notes)
+	}
+}
+
 func TestWriteTimelineCSV(t *testing.T) {
 	points := []TimelinePoint{
 		{T: 5 * time.Second, FreeBytes: 1000, DirtyPages: 7, WAF: 1.25,

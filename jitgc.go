@@ -16,6 +16,7 @@ package jitgc
 
 import (
 	"fmt"
+	"runtime"
 
 	"jitgc/internal/core"
 	"jitgc/internal/ftl"
@@ -121,6 +122,12 @@ type Options struct {
 	// Config overrides the simulator configuration; zero value uses
 	// sim.DefaultConfig with preconditioning of the working set.
 	Config *sim.Config
+	// Workers bounds how many simulation runs the experiment grids execute
+	// concurrently (each grid cell is an independent Simulator). 0 means
+	// runtime.GOMAXPROCS(0); 1 recovers the serial runner. Results are
+	// written into pre-indexed slots, so reports are byte-identical for
+	// every worker count. Single-run entry points like Run ignore it.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -133,7 +140,16 @@ func (o Options) withDefaults() Options {
 	if o.FillFraction == 0 {
 		o.FillFraction = 0.90
 	}
+	o.Workers = o.workers()
 	return o
+}
+
+// workers resolves the effective worker count for experiment grids.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // simConfig resolves the simulator configuration and working set.
