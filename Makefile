@@ -4,12 +4,15 @@
 # it, and runs the full test suite under the race detector — the experiment
 # grids execute simulation cells concurrently (Options.Workers), so
 # race-cleanliness is a correctness requirement, not a style preference.
+# It also replays the committed fuzz seed corpora and fails if statement
+# coverage of internal/... drops below the recorded baseline.
 
 GO ?= go
+COVERAGE_BASELINE := $(shell cat ci/coverage-baseline.txt)
 
-.PHONY: ci build vet test test-race bench
+.PHONY: ci build vet test test-race fuzz-regress coverage-gate fuzz bench
 
-ci: build vet test-race
+ci: build vet test-race fuzz-regress coverage-gate
 
 build:
 	$(GO) build ./...
@@ -22,6 +25,29 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# Replay the committed seed corpora under testdata/fuzz/ as plain unit
+# tests (no -fuzz flag): every crasher we have ever minimised must keep
+# passing. Plain `go test` runs them too; this target isolates them so a
+# corpus regression is named in CI output rather than buried in a package
+# failure.
+fuzz-regress:
+	$(GO) test -run '^Fuzz' -count=1 ./internal/trace/
+
+# Fail if total statement coverage of internal/... falls below the
+# baseline recorded in ci/coverage-baseline.txt. Raise the baseline when
+# coverage improves; never lower it to make a red build green.
+coverage-gate:
+	$(GO) test -count=1 -coverprofile=coverage.out ./internal/...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$NF); print $$NF}'); \
+	echo "internal/... coverage: $$total% (baseline $(COVERAGE_BASELINE)%)"; \
+	awk -v t="$$total" -v b="$(COVERAGE_BASELINE)" 'BEGIN { exit (t+0 >= b+0) ? 0 : 1 }' || \
+		{ echo "coverage $$total% below baseline $(COVERAGE_BASELINE)%"; exit 1; }
+
+# Open-ended fuzzing session for the trace parsers (not part of ci).
+fuzz:
+	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/trace/
+	$(GO) test -fuzz FuzzDecodeMSR -fuzztime 30s ./internal/trace/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

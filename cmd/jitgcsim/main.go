@@ -37,6 +37,9 @@ func main() {
 		timeline = flag.String("timeline", "", "write per-interval state samples to this CSV file")
 		traceIn  = flag.String("trace", "", "replay this trace file instead of a synthetic benchmark (jitgc text format, or MSR CSV with -msr)")
 		msr      = flag.Bool("msr", false, "parse -trace as an MSR-Cambridge CSV block trace")
+		devices  = flag.Int("devices", 1, "number of SSDs in a striped array (1 = single-device simulation)")
+		stripe   = flag.Int64("stripe", 64, "array striping granularity in logical pages")
+		coord    = flag.String("coord", "independent", "array GC coordination mode (independent, coordinated)")
 	)
 	flag.Parse()
 
@@ -45,8 +48,21 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *devices < 1 {
+		fmt.Fprintf(os.Stderr, "jitgcsim: -devices must be at least 1, got %d\n", *devices)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	spec := jitgc.PolicySpec{Kind: *policy, Factor: *factor, DisableSIP: *noSIP}
+	if *devices > 1 {
+		if *traceIn != "" || *timeline != "" {
+			log.Fatal("-devices > 1 supports synthetic benchmarks only (no -trace/-timeline)")
+		}
+		runArray(*bench, spec, *devices, *stripe, *coord,
+			jitgc.Options{Seed: *seed, Ops: *ops, Workers: *workers})
+		return
+	}
 	var (
 		res jitgc.Results
 		err error
@@ -82,6 +98,43 @@ func main() {
 	}
 	if res.TrimmedPages > 0 {
 		fmt.Printf("trimmed pages        %d\n", res.TrimmedPages)
+	}
+}
+
+// runArray runs a benchmark over the striped multi-device array and prints
+// the merged record plus the per-device spread.
+func runArray(bench string, spec jitgc.PolicySpec, devices int, stripe int64, coord string, opt jitgc.Options) {
+	res, err := jitgc.RunArray(bench, spec, jitgc.ArrayConfig{
+		Devices:      devices,
+		StripePages:  stripe,
+		Coordination: coord,
+	}, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := res.Array
+	fmt.Printf("benchmark            %s\n", a.Workload)
+	fmt.Printf("policy               %s\n", a.Policy)
+	fmt.Printf("array                %d devices, %d-page stripes, %s GC\n",
+		res.Devices, res.StripePages, res.Mode)
+	fmt.Printf("requests             %d\n", a.Requests)
+	fmt.Printf("simulated time       %v\n", a.SimTime.Round(1e6))
+	fmt.Printf("IOPS                 %.0f\n", a.IOPS)
+	fmt.Printf("WAF                  %.3f (per device %.3f..%.3f)\n", a.WAF, res.WAFMin, res.WAFMax)
+	fmt.Printf("host programs        %d pages\n", a.HostPrograms)
+	fmt.Printf("GC migrations        %d pages (%d wasted)\n", a.GCMigrations, a.WastedMigrations)
+	fmt.Printf("block erases         %d (wear min/max %d/%d)\n", a.Erases, a.MinErase, a.MaxErase)
+	fmt.Printf("foreground GC        %d invocations\n", a.FGCInvocations)
+	fmt.Printf("background GC        %d collections\n", a.BGCCollections)
+	fmt.Printf("latency mean/p99/p99.9/max %v / %v / %v / %v\n",
+		a.MeanLatency.Round(1e3), a.P99Latency.Round(1e3), res.P999Latency.Round(1e3), a.MaxLatency.Round(1e3))
+	fmt.Printf("write utilization    %.2f..%.2f of even-striping ideal\n", res.UtilMin, res.UtilMax)
+	if res.Mode == "coordinated" {
+		fmt.Printf("GC token             %d granted / %d denied / %d boosted\n",
+			res.GCGranted, res.GCDenied, res.GCBoosted)
+	}
+	if a.Predictive {
+		fmt.Printf("prediction accuracy  %.1f%%\n", 100*a.PredictionAccuracy)
 	}
 }
 

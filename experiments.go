@@ -38,6 +38,7 @@ func Experiments() []Experiment {
 		{ID: "table2", Title: "Table 2: prediction accuracy of JIT-GC and ADP-GC", Run: table2},
 		{ID: "table3", Title: "Table 3: SIP-filtered GC victim selections", Run: table3},
 		{ID: "oracle", Title: "Ideal-policy anchor: oracle BGC vs JIT-GC (paper §2)", Run: oracleAnchor},
+		{ID: "array", Title: "Array scaling: striped multi-device backend, independent vs coordinated GC", Run: arrayExp},
 		{ID: "lifetime", Title: "Lifetime: host data served before wear-out per policy", Run: lifetime},
 		{ID: "ablation-sip", Title: "Ablation: SIP victim filtering on/off", Run: ablationSIP},
 		{ID: "ablation-percentile", Title: "Ablation: direct-write CDH percentile", Run: ablationPercentile},

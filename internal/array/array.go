@@ -1,0 +1,517 @@
+// Package array shards one host request stream over an N-device SSD array:
+// the logical page space is striped across per-device sim.Simulator
+// instances, requests fan out through one shared event clock, and
+// per-device metrics merge into array-level IOPS/WAF/latency plus a
+// per-device spread report.
+//
+// The interesting degree of freedom is garbage-collection coordination.
+// With each device running its BGC policy independently (the unsynchronized
+// baseline of Zheng & Burns), a striped request is delayed whenever ANY of
+// its devices happens to be collecting, so per-device GC that is rare in
+// isolation compounds into frequent array-level tail-latency spikes. Worse,
+// a member device only sees its own 1/N slice of the stream and cannot tell
+// a think-time lull from the end of a burst, so it collects on its local
+// schedule — often in the middle of an array-level burst.
+//
+// The coordinated mode lifts JIT-GC's idle-time test to the array, which
+// observes the whole request stream: while any request arrived in the
+// current write-back interval the array is mid-burst and non-critical
+// collection is deferred; once an interval passes with no arrivals the
+// array is in an inter-burst gap and the deferred work is released. Release
+// goes through a rotation token — at most K devices collect per interval —
+// and each grant collects ahead to the device's full predicted deficit,
+// because the next burst may start before the token returns. Urgency is
+// the paper's T_idle/T_gc test against aggregate demand: when the idle
+// time left in the write-back horizon cannot cover the aggregate GC debt
+// at concurrency K, deferral is suspended and token holders collect even
+// mid-burst. Devices whose free space no longer covers their own demand
+// bypass the token entirely — denying them would only convert the same
+// work into a foreground stall.
+package array
+
+import (
+	"fmt"
+	"time"
+
+	"jitgc/internal/core"
+	"jitgc/internal/metrics"
+	"jitgc/internal/sim"
+	"jitgc/internal/trace"
+)
+
+// Mode selects how per-device background GC is coordinated.
+type Mode string
+
+// Coordination modes.
+const (
+	// Independent lets every device run its own BGC policy unmodified —
+	// the unsynchronized baseline.
+	Independent Mode = "independent"
+	// Coordinated gates BGC behind a rotation token (at most
+	// MaxConcurrentGC devices collect per interval) with array-level
+	// urgency detection.
+	Coordinated Mode = "coordinated"
+)
+
+// ParseMode converts a flag string into a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch Mode(s) {
+	case Independent, Coordinated:
+		return Mode(s), nil
+	}
+	return "", fmt.Errorf("array: unknown coordination mode %q (want %q or %q)",
+		s, Independent, Coordinated)
+}
+
+// Config assembles an array simulation.
+type Config struct {
+	// Devices is the number of SSDs in the array (≥ 1).
+	Devices int
+	// StripePages is the striping granularity in logical pages: 1 stripes
+	// page-granular, larger values segment-granular. Default 64 pages
+	// (256 KiB at 4 KiB pages, a conventional RAID-0 stripe unit).
+	StripePages int64
+	// Mode selects GC coordination (default Independent).
+	Mode Mode
+	// MaxConcurrentGC is K, the rotation-token width in Coordinated mode:
+	// at most this many devices run background GC in one write-back
+	// interval. Default max(1, Devices/2). Devices facing imminent
+	// foreground GC bypass the token, so K bounds steady-state
+	// concurrency, not crisis response.
+	MaxConcurrentGC int
+	// Device configures each member device. PreconditionPages is
+	// per-device. NonPreemptiveBGC is forced on: array tail latency is
+	// about striped requests colliding with per-device collections, which
+	// requires collections to occupy the device for real.
+	Device sim.Config
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.StripePages == 0 {
+		c.StripePages = 64
+	}
+	if c.Mode == "" {
+		c.Mode = Independent
+	}
+	if c.MaxConcurrentGC == 0 {
+		c.MaxConcurrentGC = c.Devices / 2
+		if c.MaxConcurrentGC < 1 {
+			c.MaxConcurrentGC = 1
+		}
+	}
+	c.Device.NonPreemptiveBGC = true
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Devices < 1 {
+		return fmt.Errorf("array: need at least 1 device, got %d", c.Devices)
+	}
+	if c.StripePages < 1 {
+		return fmt.Errorf("array: non-positive stripe %d pages", c.StripePages)
+	}
+	if _, err := ParseMode(string(c.Mode)); err != nil {
+		return err
+	}
+	if c.MaxConcurrentGC < 1 {
+		return fmt.Errorf("array: non-positive GC concurrency %d", c.MaxConcurrentGC)
+	}
+	return c.Device.Validate()
+}
+
+// Array drives N per-device simulators on one shared clock.
+type Array struct {
+	cfg   Config
+	devs  []*sim.Simulator
+	ext   [][]extent // per-device split scratch, reused across requests
+	token int        // next device the rotation token visits
+
+	perDevPages int64 // usable pages per device, stripe-aligned
+	userPages   int64 // array logical capacity
+
+	lat            metrics.LatencyRecorder
+	requests       int64
+	opsEnd         time.Duration
+	lastCompletion time.Duration
+
+	intervalReqs             int64   // arrivals since the last write-back tick
+	lastFree                 []int64 // per-device free bytes at the previous tick (-1 before the first)
+	burnEMA                  []int64 // per-device free-space burn per interval, decaying peak
+	granted, denied, boosted int64
+}
+
+// extent is a run of contiguous device-local pages within one request.
+type extent struct {
+	lpn   int64
+	pages int
+}
+
+// New builds an array of cfg.Devices simulators, each with its own policy
+// instance from factory.
+func New(cfg Config, factory sim.PolicyFactory) (*Array, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	devs := make([]*sim.Simulator, cfg.Devices)
+	for i := range devs {
+		s, err := sim.New(cfg.Device, factory)
+		if err != nil {
+			return nil, fmt.Errorf("array: device %d: %w", i, err)
+		}
+		devs[i] = s
+	}
+	// Each device contributes a whole number of stripes; the remainder is
+	// unaddressable so that every array LPN maps inside its device.
+	perDev := devs[0].FTL().UserPages() / cfg.StripePages * cfg.StripePages
+	if perDev == 0 {
+		return nil, fmt.Errorf("array: stripe %d pages exceeds device capacity %d",
+			cfg.StripePages, devs[0].FTL().UserPages())
+	}
+	lastFree := make([]int64, cfg.Devices)
+	for i := range lastFree {
+		lastFree[i] = -1
+	}
+	return &Array{
+		cfg:         cfg,
+		devs:        devs,
+		ext:         make([][]extent, cfg.Devices),
+		lastFree:    lastFree,
+		burnEMA:     make([]int64, cfg.Devices),
+		perDevPages: perDev,
+		userPages:   perDev * int64(cfg.Devices),
+	}, nil
+}
+
+// UserPages returns the array's addressable logical capacity in pages.
+func (a *Array) UserPages() int64 { return a.userPages }
+
+// Device returns member device i, for inspection in tests and reports.
+func (a *Array) Device(i int) *sim.Simulator { return a.devs[i] }
+
+// locate maps an array LPN to its device index and device-local LPN:
+// stripe s lands on device s mod N at local stripe s div N.
+func (a *Array) locate(alpn int64) (int, int64) {
+	stripe := a.cfg.StripePages
+	s, off := alpn/stripe, alpn%stripe
+	n := int64(len(a.devs))
+	return int(s % n), (s/n)*stripe + off
+}
+
+// Run executes the request stream open-loop (absolute arrival times).
+func (a *Array) Run(reqs []trace.Request) (Results, error) {
+	if err := trace.ValidateAll(reqs); err != nil {
+		return Results{}, err
+	}
+	return a.run(reqs, false)
+}
+
+// RunClosedLoop executes the request stream closed-loop: each request's
+// Time is a think time after the previous request's array-level completion
+// (the max over its striped segments), so a single slow device stalls the
+// whole stream — exactly the amplification coordination is measured
+// against.
+func (a *Array) RunClosedLoop(reqs []trace.Request) (Results, error) {
+	for i, r := range reqs {
+		if err := r.Validate(); err != nil {
+			return Results{}, fmt.Errorf("request %d: %w", i, err)
+		}
+	}
+	return a.run(reqs, true)
+}
+
+// run mirrors the single-device event loop: requests interleave with
+// write-back ticks on one clock, and after the last request the ticks keep
+// firing until every device's cache has drained.
+func (a *Array) run(reqs []trace.Request, closed bool) (Results, error) {
+	for i, d := range a.devs {
+		if err := d.Begin(); err != nil {
+			return Results{}, fmt.Errorf("array: device %d: %w", i, err)
+		}
+	}
+
+	period := a.cfg.Device.Cache.FlusherPeriod
+	nextTick := period
+	ri := 0
+	for {
+		var arrival time.Duration
+		if ri < len(reqs) {
+			if closed {
+				arrival = a.lastCompletion + reqs[ri].Time
+			} else {
+				arrival = reqs[ri].Time
+			}
+		}
+		var t time.Duration
+		tick := false
+		switch {
+		case ri < len(reqs) && arrival <= nextTick:
+			t = arrival
+		case ri < len(reqs):
+			t, tick = nextTick, true
+		case a.cfg.Device.DrainCache && a.anyDirty():
+			t, tick = nextTick, true
+		default:
+			return a.results(), nil
+		}
+		if tick {
+			if err := a.tick(t); err != nil {
+				return Results{}, err
+			}
+			nextTick += period
+		} else {
+			r := reqs[ri]
+			r.Time = arrival
+			if err := a.handleRequest(r); err != nil {
+				return Results{}, err
+			}
+			ri++
+		}
+	}
+}
+
+// anyDirty reports whether any device's page cache still holds dirty pages.
+func (a *Array) anyDirty() bool {
+	for _, d := range a.devs {
+		if d.DirtyPages() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// handleRequest splits one array request into per-device segments, services
+// them, and records the array-level completion (the slowest segment).
+func (a *Array) handleRequest(r trace.Request) error {
+	if r.End() > a.userPages {
+		return fmt.Errorf("%w: lpn %d..%d, array capacity %d",
+			sim.ErrTraceBeyondCapacity, r.LPN, r.End(), a.userPages)
+	}
+	a.split(r.LPN, r.Pages)
+	var completion time.Duration
+	for i, exts := range a.ext {
+		for _, e := range exts {
+			c, err := a.devs[i].StepRequest(trace.Request{
+				Time: r.Time, Kind: r.Kind, LPN: e.lpn, Pages: e.pages,
+			})
+			if err != nil {
+				return fmt.Errorf("array: device %d: %w", i, err)
+			}
+			if c > completion {
+				completion = c
+			}
+		}
+	}
+	a.requests++
+	a.intervalReqs++
+	a.lat.Add(completion - r.Time)
+	a.lastCompletion = completion
+	if completion > a.opsEnd {
+		a.opsEnd = completion
+	}
+	return nil
+}
+
+// split decomposes the array extent [lpn, lpn+pages) into per-device local
+// extents in a.ext, merging stripes that land contiguously on the same
+// device so each device sees the fewest possible sub-requests.
+func (a *Array) split(lpn int64, pages int) {
+	for i := range a.ext {
+		a.ext[i] = a.ext[i][:0]
+	}
+	for pages > 0 {
+		dev, dlpn := a.locate(lpn)
+		run := int(a.cfg.StripePages - lpn%a.cfg.StripePages)
+		if run > pages {
+			run = pages
+		}
+		if exts := a.ext[dev]; len(exts) > 0 && exts[len(exts)-1].lpn+int64(exts[len(exts)-1].pages) == dlpn {
+			exts[len(exts)-1].pages += run
+		} else {
+			a.ext[dev] = append(exts, extent{dlpn, run})
+		}
+		lpn += int64(run)
+		pages -= run
+	}
+}
+
+// tick runs one write-back boundary across the array in three phases —
+// every device flushes, every device's policy decides, the coordinator
+// adjusts the decisions, every device applies — so the coordinator sees
+// all demands before any collection is committed.
+func (a *Array) tick(t time.Duration) error {
+	for i, d := range a.devs {
+		if err := d.TickFlush(t); err != nil {
+			return fmt.Errorf("array: device %d: %w", i, err)
+		}
+	}
+	decs := make([]core.Decision, len(a.devs))
+	for i, d := range a.devs {
+		decs[i] = d.TickDecide(t)
+	}
+	if a.cfg.Mode == Coordinated && len(a.devs) > 1 {
+		a.coordinate(decs)
+	}
+	a.intervalReqs = 0
+	for i, d := range a.devs {
+		d.TickApply(t, decs[i])
+	}
+	return nil
+}
+
+// coordinate adjusts this interval's per-device decisions using what only
+// the array can see: whether the whole stream is mid-burst or in an
+// inter-burst gap, and how fast each device actually burns free space while
+// the burst runs.
+//
+// Devices that would burn through their remaining free space within about
+// two busy intervals are critical — denying them would convert the same
+// work into a foreground stall — so their own request passes through
+// without consuming a token slot. Mid-burst, every other request is
+// deferred: the device policy only sees its 1/N slice of the stream and
+// asks just-in-time, but the array knows an inter-burst gap is coming where
+// the identical work costs nothing. When the array-level urgency test says
+// the idle time left in the horizon cannot absorb the aggregate GC debt,
+// deferral is suspended and asks are granted through the token, at most
+// MaxConcurrentGC per interval, never enlarged — a boosted target mid-burst
+// grinds victim-collection chunks between host requests for the rest of the
+// interval. In a gap the token instead tops each grant up toward the
+// device's predicted horizon deficit, capped at half an interval of GC
+// bandwidth so the work is finished well before a burst can resume.
+//
+// Urgency is the paper's T_idle/T_gc test lifted to the array: aggregate
+// demand over the τ_expire horizon versus aggregate free space, with GC
+// throughput limited to K concurrent collectors.
+func (a *Array) coordinate(decs []core.Decision) {
+	n := len(a.devs)
+	k := a.cfg.MaxConcurrentGC
+	busy := a.intervalReqs > 0
+
+	free := make([]int64, n)
+	var freeTotal, demandTotal int64
+	var bwTotal, bgcMean float64
+	for i, d := range a.devs {
+		free[i] = d.FTL().WritableBytes()
+		freeTotal += free[i]
+		demand := decs[i].PredictedBytes
+		if demand == 0 {
+			// Non-predictive policies: their reclaim request is the best
+			// available proxy for upcoming demand.
+			demand = decs[i].ReclaimBytes
+		}
+		demandTotal += demand
+		bwTotal += d.FTL().WriteBandwidth()
+		bgcMean += d.FTL().GCBandwidth()
+	}
+	bgcMean /= float64(n)
+
+	// Track how much free space each device burns per busy interval: the
+	// predictor's horizon average understates the instantaneous burst rate,
+	// and the burn rate is what decides whether deferring a device starves
+	// it before the next tick. Tracked as a slowly decaying peak — an
+	// averaging estimate gets diluted by the trickle intervals at burst
+	// edges and then under-protects against the next full-rate interval.
+	for i := range free {
+		a.burnEMA[i] -= a.burnEMA[i] / 8
+		if burn := a.lastFree[i] - free[i]; a.lastFree[i] >= 0 && burn > a.burnEMA[i] {
+			a.burnEMA[i] = burn
+		}
+		a.lastFree[i] = free[i]
+	}
+
+	urgent := false
+	if demandTotal > freeTotal && bwTotal > 0 && bgcMean > 0 {
+		tw := float64(demandTotal) / bwTotal
+		tidle := a.cfg.Device.Cache.Expire.Seconds() - tw
+		if tidle < 0 {
+			tidle = 0
+		}
+		tgc := float64(demandTotal-freeTotal) / (float64(k) * bgcMean)
+		urgent = tgc > tidle
+	}
+
+	// nwb is the number of write-back intervals in the τ_expire horizon: a
+	// predictive policy's PredictedBytes spreads over nwb intervals.
+	nwb := float64(a.cfg.Device.Cache.Expire) / float64(a.cfg.Device.Cache.FlusherPeriod)
+	if nwb < 1 {
+		nwb = 1
+	}
+
+	grants := 0
+	advanceTo := -1
+	for j := 0; j < n; j++ {
+		i := (a.token + j) % n
+		ask := decs[i].ReclaimBytes
+		need := int64(float64(decs[i].PredictedBytes) / nwb)
+		if a.burnEMA[i] > need {
+			need = a.burnEMA[i]
+		}
+		critical := free[i] < 2*need || (ask > 0 && free[i] < ask)
+
+		if busy {
+			if ask <= 0 {
+				continue
+			}
+			if critical {
+				a.granted++ // token bypass: deferral would become FGC
+				continue
+			}
+			if !urgent {
+				decs[i].ReclaimBytes = 0
+				a.denied++ // deferred to the next inter-burst gap
+				continue
+			}
+			// Urgent mid-burst: grant asks as-is through the token — never
+			// enlarged, a boosted target here grinds victim-collection
+			// chunks between host requests for the rest of the interval.
+			if grants < k {
+				grants++
+				a.granted++
+				advanceTo = i
+			} else {
+				decs[i].ReclaimBytes = 0
+				a.denied++
+			}
+			continue
+		}
+
+		// Inter-burst gap: top each grant up toward the predicted horizon
+		// deficit — critical devices included, idle collection costs
+		// nothing — so the next burst runs without any collection at all.
+		// The device policy alone would wait just-in-time and end up
+		// collecting mid-burst.
+		want := ask
+		if deficit := decs[i].PredictedBytes + need - free[i]; deficit > want {
+			want = deficit
+		}
+		if lim := int64(a.devs[i].FTL().GCBandwidth() * a.cfg.Device.Cache.FlusherPeriod.Seconds() / 2); lim > ask && want > lim {
+			// Cap the top-up at half an interval of GC bandwidth so it
+			// finishes well before a burst can resume — but never below
+			// what the device itself asked for.
+			want = lim
+		}
+		if want <= 0 {
+			continue
+		}
+		switch {
+		case grants < k:
+			grants++
+			a.granted++
+			advanceTo = i
+			if want > ask {
+				a.boosted++
+			}
+			decs[i].ReclaimBytes = want
+		case ask > 0 && critical:
+			a.granted++ // beyond the token, but zeroing it would risk FGC
+		case ask > 0:
+			decs[i].ReclaimBytes = 0
+			a.denied++
+		}
+	}
+	if advanceTo >= 0 {
+		a.token = (advanceTo + 1) % n
+	}
+}

@@ -1,0 +1,55 @@
+package array
+
+import (
+	"testing"
+	"time"
+
+	"jitgc/internal/trace"
+)
+
+// TestOpenLoopRun drives the array with absolute arrival times and checks
+// the merged record plus the per-device accessors used by reports.
+func TestOpenLoopRun(t *testing.T) {
+	a := newArray(t, Config{Devices: 2, StripePages: 4, Device: tinyDevice()})
+	var reqs []trace.Request
+	for i := 0; i < 64; i++ {
+		reqs = append(reqs, trace.Request{
+			Time:  time.Duration(i) * 10 * time.Millisecond,
+			Kind:  trace.DirectWrite,
+			LPN:   int64(i*4) % a.UserPages(),
+			Pages: 4,
+		})
+	}
+	res, err := a.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Array.Requests != 64 {
+		t.Errorf("requests = %d, want 64", res.Array.Requests)
+	}
+	if res.Array.DirectPages != 64*4 {
+		t.Errorf("direct pages = %d, want %d", res.Array.DirectPages, 64*4)
+	}
+	if got := res.WAFSpread(); got != res.WAFMax-res.WAFMin || got < 0 {
+		t.Errorf("WAFSpread = %v (min %v, max %v)", got, res.WAFMin, res.WAFMax)
+	}
+	// The stream round-robins stripes, so both members must have served
+	// device writes.
+	for i := 0; i < 2; i++ {
+		if dev := a.Device(i); dev.Results().HostPrograms == 0 {
+			t.Errorf("device %d saw no programs", i)
+		}
+	}
+}
+
+// TestOpenLoopRejectsUnsortedTrace mirrors the single-device contract.
+func TestOpenLoopRejectsUnsortedTrace(t *testing.T) {
+	a := newArray(t, Config{Devices: 2, StripePages: 4, Device: tinyDevice()})
+	reqs := []trace.Request{
+		{Time: time.Second, Kind: trace.Read, LPN: 0, Pages: 1},
+		{Time: time.Millisecond, Kind: trace.Read, LPN: 0, Pages: 1},
+	}
+	if _, err := a.Run(reqs); err == nil {
+		t.Error("unsorted open-loop trace accepted")
+	}
+}

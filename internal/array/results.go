@@ -1,0 +1,142 @@
+package array
+
+import (
+	"time"
+
+	"jitgc/internal/metrics"
+)
+
+// Results merges the member devices' run records into one array-level
+// record plus per-device spread statistics, the view Li/Lee/Lui's
+// stochastic array model argues matters: array throughput is set by the
+// aggregate, array tail latency by the worst member.
+type Results struct {
+	// Array is the merged record: latency percentiles are measured over
+	// whole array requests (a request completes when its slowest striped
+	// segment does), counters are sums, WAF is the aggregate ratio.
+	Array metrics.Results
+	// PerDevice holds each member's own record, indexed by device.
+	PerDevice []metrics.Results
+
+	// Devices, StripePages and Mode echo the configuration.
+	Devices     int
+	StripePages int64
+	Mode        Mode
+
+	// P999Latency is the 99.9th-percentile array request latency. Short
+	// striped requests complete in a deterministic service time, so p99
+	// often sits on that plateau in both coordination modes; the deeper
+	// tail is where collections colliding with bursts surface.
+	P999Latency time.Duration
+
+	// WAFMin and WAFMax bound per-device write amplification; their gap is
+	// the spread uncoordinated GC lets develop between members.
+	WAFMin, WAFMax float64
+	// UtilMin and UtilMax bound per-device write utilization: each
+	// device's share of host programs normalized to the even-striping
+	// ideal 1/N, so 1.0 on every device means perfectly balanced load.
+	UtilMin, UtilMax float64
+
+	// GCGranted, GCDenied and GCBoosted count the coordinator's token
+	// decisions (all zero in independent mode): grants include critical
+	// bypasses, denials are mid-burst deferrals to the next inter-burst
+	// gap, boosts are gap grants topped up beyond the device's own ask to
+	// pre-collect for the coming burst.
+	GCGranted, GCDenied, GCBoosted int64
+}
+
+// WAFSpread returns WAFMax − WAFMin.
+func (r Results) WAFSpread() float64 { return r.WAFMax - r.WAFMin }
+
+// results assembles the merged record after the run.
+func (a *Array) results() Results {
+	n := len(a.devs)
+	res := Results{
+		PerDevice:   make([]metrics.Results, n),
+		Devices:     n,
+		StripePages: a.cfg.StripePages,
+		Mode:        a.cfg.Mode,
+		P999Latency: a.lat.Percentile(99.9),
+		GCGranted:   a.granted,
+		GCDenied:    a.denied,
+		GCBoosted:   a.boosted,
+	}
+
+	agg := metrics.Results{
+		Policy:      a.devs[0].Policy().Name(),
+		Requests:    a.requests,
+		SimTime:     a.opsEnd,
+		MeanLatency: a.lat.Mean(),
+		P99Latency:  a.lat.Percentile(99),
+		MaxLatency:  a.lat.Max(),
+	}
+	var selections, filtered int64
+	var accuracy float64
+	predictive := 0
+	for i, d := range a.devs {
+		r := d.Results()
+		res.PerDevice[i] = r
+		if r.SimTime > agg.SimTime {
+			agg.SimTime = r.SimTime
+		}
+		agg.HostPrograms += r.HostPrograms
+		agg.GCMigrations += r.GCMigrations
+		agg.WastedMigrations += r.WastedMigrations
+		agg.Erases += r.Erases
+		agg.FGCInvocations += r.FGCInvocations
+		agg.BGCCollections += r.BGCCollections
+		agg.TrimmedPages += r.TrimmedPages
+		agg.CacheReadHits += r.CacheReadHits
+		agg.BufferedPages += r.BufferedPages
+		agg.DirectPages += r.DirectPages
+		st := d.FTL().Stats()
+		selections += st.VictimSelections
+		filtered += st.FilteredSelections
+		if r.Predictive {
+			predictive++
+			accuracy += r.PredictionAccuracy
+		}
+		if i == 0 || r.MinErase < agg.MinErase {
+			agg.MinErase = r.MinErase
+		}
+		if r.MaxErase > agg.MaxErase {
+			agg.MaxErase = r.MaxErase
+		}
+		if i == 0 || r.WAF < res.WAFMin {
+			res.WAFMin = r.WAF
+		}
+		if r.WAF > res.WAFMax {
+			res.WAFMax = r.WAF
+		}
+	}
+	agg.WAF = 1
+	if agg.HostPrograms > 0 {
+		agg.WAF = float64(agg.HostPrograms+agg.GCMigrations) / float64(agg.HostPrograms)
+	}
+	if a.opsEnd > 0 {
+		agg.IOPS = float64(a.requests) / a.opsEnd.Seconds()
+	}
+	if selections > 0 {
+		agg.FilteredVictimPct = 100 * float64(filtered) / float64(selections)
+	}
+	if predictive == n {
+		agg.Predictive = true
+		agg.PredictionAccuracy = accuracy / float64(n)
+	}
+
+	res.UtilMin, res.UtilMax = 1, 1
+	if agg.HostPrograms > 0 {
+		for i, r := range res.PerDevice {
+			u := float64(r.HostPrograms) * float64(n) / float64(agg.HostPrograms)
+			if i == 0 || u < res.UtilMin {
+				res.UtilMin = u
+			}
+			if i == 0 || u > res.UtilMax {
+				res.UtilMax = u
+			}
+		}
+	}
+
+	res.Array = agg
+	return res
+}

@@ -1,0 +1,123 @@
+package ftl
+
+import (
+	"fmt"
+
+	"jitgc/internal/nand"
+)
+
+// CheckConsistency verifies the FTL's structural invariants against the
+// NAND array it manages:
+//
+//   - the L2P and P2L tables are exact inverses (so the mapping is
+//     injective: no two logical pages share a physical page),
+//   - a physical page is PageValid if and only if it is mapped, and every
+//     block's cached valid-page counter equals a recount of its mapped
+//     pages (valid-page counts balance),
+//   - every mapped page's stored payload token carries the logical page
+//     number it is mapped from (no aliasing or stale copies),
+//   - the free pool holds distinct in-range blocks, none of them an active
+//     block, and every pooled block is fully erased.
+//
+// The check is read-only (it inspects the array via PeekPage, which touches
+// no counters) and O(total pages); it exists for tests and property sweeps,
+// not the simulation datapath. It returns the first violation found.
+func (f *FTL) CheckConsistency() error {
+	geo := f.cfg.Geometry
+	ppb := geo.PagesPerBlock
+	total := int64(geo.TotalPages())
+
+	// L2P → P2L, device state, and payload tokens.
+	mapped := int64(0)
+	for lpn := int64(0); lpn < f.userPages; lpn++ {
+		ppn := f.l2p[lpn]
+		if ppn == unmapped {
+			continue
+		}
+		mapped++
+		if ppn < 0 || ppn >= total {
+			return fmt.Errorf("ftl: lpn %d maps to out-of-range ppn %d", lpn, ppn)
+		}
+		if back := f.p2l[ppn]; back != lpn {
+			return fmt.Errorf("ftl: lpn %d maps to ppn %d, but p2l says lpn %d", lpn, ppn, back)
+		}
+		tok, st, err := f.dev.PeekPage(nand.AddrOfPPN(ppn, ppb))
+		if err != nil {
+			return err
+		}
+		if st != nand.PageValid {
+			return fmt.Errorf("ftl: lpn %d maps to ppn %d in state %v", lpn, ppn, st)
+		}
+		if got := tokenLPN(tok); got != lpn {
+			return fmt.Errorf("ftl: ppn %d mapped from lpn %d holds payload of lpn %d", ppn, lpn, got)
+		}
+	}
+
+	// P2L → L2P, and valid-page counts per block.
+	p2lMapped := int64(0)
+	for b := 0; b < geo.TotalBlocks(); b++ {
+		validHere := 0
+		for p := 0; p < ppb; p++ {
+			ppn := int64(b)*int64(ppb) + int64(p)
+			lpn := f.p2l[ppn]
+			_, st, err := f.dev.PeekPage(nand.PageAddr{Block: b, Page: p})
+			if err != nil {
+				return err
+			}
+			if lpn != unmapped {
+				p2lMapped++
+				if lpn < 0 || lpn >= f.userPages {
+					return fmt.Errorf("ftl: ppn %d reverse-maps to out-of-range lpn %d", ppn, lpn)
+				}
+				if f.l2p[lpn] != ppn {
+					return fmt.Errorf("ftl: ppn %d reverse-maps to lpn %d, but l2p says ppn %d", ppn, lpn, f.l2p[lpn])
+				}
+			}
+			if (st == nand.PageValid) != (lpn != unmapped) {
+				return fmt.Errorf("ftl: ppn %d state %v but reverse mapping %d", ppn, st, lpn)
+			}
+			if st == nand.PageValid {
+				validHere++
+			}
+		}
+		if got := f.dev.ValidCount(b); got != validHere {
+			return fmt.Errorf("ftl: block %d caches %d valid pages, recount says %d", b, got, validHere)
+		}
+	}
+	if mapped != p2lMapped {
+		return fmt.Errorf("ftl: %d mapped lpns but %d mapped ppns", mapped, p2lMapped)
+	}
+
+	// Free pool sanity.
+	seen := make(map[int]bool, len(f.freeBlocks))
+	for _, b := range f.freeBlocks {
+		if b < 0 || b >= geo.TotalBlocks() {
+			return fmt.Errorf("ftl: free pool holds out-of-range block %d", b)
+		}
+		if seen[b] {
+			return fmt.Errorf("ftl: free pool holds block %d twice", b)
+		}
+		seen[b] = true
+		if b == f.hostActive || b == f.gcActive {
+			return fmt.Errorf("ftl: active block %d is in the free pool", b)
+		}
+		if f.dev.WritePtr(b) != 0 || f.dev.ValidCount(b) != 0 {
+			return fmt.Errorf("ftl: pooled block %d not erased (ptr %d, valid %d)",
+				b, f.dev.WritePtr(b), f.dev.ValidCount(b))
+		}
+	}
+
+	// SIP bookkeeping: the per-block counters must recount exactly.
+	sipCount := make([]int, geo.TotalBlocks())
+	for lpn := range f.sip {
+		if ppn := f.l2p[lpn]; ppn != unmapped {
+			sipCount[int(ppn)/ppb]++
+		}
+	}
+	for b := range sipCount {
+		if f.sipPerBlock[b] != sipCount[b] {
+			return fmt.Errorf("ftl: block %d caches %d SIP pages, recount says %d", b, f.sipPerBlock[b], sipCount[b])
+		}
+	}
+	return nil
+}

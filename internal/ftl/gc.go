@@ -155,6 +155,9 @@ func (f *FTL) SetSIPList(lpns []int64) {
 		if lpn < 0 || lpn >= f.userPages {
 			continue
 		}
+		if _, dup := f.sip[lpn]; dup {
+			continue // count each page once, however often it is listed
+		}
 		f.sip[lpn] = struct{}{}
 		if ppn := f.l2p[lpn]; ppn != unmapped {
 			f.sipPerBlock[int(ppn)/ppb]++

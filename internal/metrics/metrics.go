@@ -137,6 +137,10 @@ func (l *LatencyRecorder) Mean() time.Duration {
 // Max returns the maximum latency.
 func (l *LatencyRecorder) Max() time.Duration { return l.max }
 
+// Samples returns the recorded latencies in arrival order. The slice is the
+// recorder's own backing store — callers must not modify it.
+func (l *LatencyRecorder) Samples() []time.Duration { return l.samples }
+
 // Percentile returns the p-th percentile latency (p in [0,100]).
 func (l *LatencyRecorder) Percentile(p float64) time.Duration {
 	if len(l.samples) == 0 {

@@ -1,0 +1,20 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencySamplesArrivalOrder(t *testing.T) {
+	var l LatencyRecorder
+	if got := l.Samples(); len(got) != 0 {
+		t.Fatalf("fresh recorder has %d samples", len(got))
+	}
+	l.Add(3 * time.Millisecond)
+	l.Add(1 * time.Millisecond)
+	l.Add(2 * time.Millisecond)
+	got := l.Samples()
+	if len(got) != 3 || got[0] != 3*time.Millisecond || got[2] != 2*time.Millisecond {
+		t.Errorf("Samples() = %v, want arrival order [3ms 1ms 2ms]", got)
+	}
+}

@@ -202,6 +202,17 @@ func (a *Array) ReadPage(addr PageAddr) (uint64, time.Duration, error) {
 	return b.data[addr.Page], d, nil
 }
 
+// PeekPage returns a page's payload token and state without consuming
+// device time or touching the operation counters — a verification aid for
+// consistency checks and tests, not part of the device datapath.
+func (a *Array) PeekPage(addr PageAddr) (uint64, PageState, error) {
+	if err := a.checkAddr(addr); err != nil {
+		return 0, PageFree, err
+	}
+	b := &a.blocks[addr.Block]
+	return b.data[addr.Page], b.pages[addr.Page], nil
+}
+
 // ProgramPage programs one page with a payload token, marking it valid,
 // and returns the device time consumed. The page must be the next free
 // page of its block, and the block must not be retired.

@@ -1,0 +1,39 @@
+package nand
+
+import "testing"
+
+func TestPeekPageReflectsStateWithoutAccounting(t *testing.T) {
+	geo := Geometry{Channels: 1, ChipsPerChannel: 1, BlocksPerChip: 2, PagesPerBlock: 4, PageSize: 4096}
+	a, err := NewArray(geo, DefaultTimingMLC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Geometry(); got != geo {
+		t.Errorf("Geometry() = %+v", got)
+	}
+	if got := a.Timing(); got != DefaultTimingMLC() {
+		t.Errorf("Timing() = %+v", got)
+	}
+
+	tok, st, err := a.PeekPage(PageAddr{Block: 0, Page: 0})
+	if err != nil || st != PageFree || tok != 0 {
+		t.Fatalf("fresh page: tok=%d st=%v err=%v", tok, st, err)
+	}
+	if _, err := a.ProgramPage(PageAddr{Block: 0, Page: 0}, 42); err != nil {
+		t.Fatal(err)
+	}
+	before := a.Stats()
+	tok, st, err = a.PeekPage(PageAddr{Block: 0, Page: 0})
+	if err != nil || st != PageValid || tok != 42 {
+		t.Fatalf("programmed page: tok=%d st=%v err=%v", tok, st, err)
+	}
+	if a.Stats() != before {
+		t.Error("PeekPage touched the operation counters")
+	}
+	if _, _, err := a.PeekPage(PageAddr{Block: 99, Page: 0}); err == nil {
+		t.Error("out-of-range peek accepted")
+	}
+	if _, err := a.PageStateAt(PageAddr{Block: 99, Page: 0}); err == nil {
+		t.Error("out-of-range PageStateAt accepted")
+	}
+}

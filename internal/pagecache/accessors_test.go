@@ -1,0 +1,41 @@
+package pagecache
+
+import (
+	"testing"
+	"time"
+)
+
+func TestConfigAccessorAndIsDirty(t *testing.T) {
+	cfg := Config{
+		PageSize:      4096,
+		CapacityPages: 64,
+		FlusherPeriod: time.Second,
+		Expire:        6 * time.Second,
+		FlushRatio:    0.8,
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Config(); got != cfg {
+		t.Errorf("Config() = %+v, want %+v", got, cfg)
+	}
+	if c.IsDirty(3) {
+		t.Error("fresh cache reports lpn 3 dirty")
+	}
+	if _, err := c.Write(0, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsDirty(3) {
+		t.Error("written lpn 3 not dirty")
+	}
+	if c.IsDirty(4) {
+		t.Error("unwritten lpn 4 dirty")
+	}
+}
+
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}

@@ -1,0 +1,41 @@
+package predictor
+
+import (
+	"testing"
+	"time"
+
+	"jitgc/internal/pagecache"
+)
+
+func TestAccuracyTrackerActualsCopies(t *testing.T) {
+	a := NewAccuracyTracker(3)
+	a.AddActual(100)
+	a.Tick()
+	a.AddActual(200)
+	a.Tick()
+	got := a.Actuals()
+	if len(got) != 2 || got[0] != 100 || got[1] != 200 {
+		t.Fatalf("Actuals() = %v, want [100 200]", got)
+	}
+	got[0] = 999 // must not alias the tracker's own series
+	if again := a.Actuals(); again[0] != 100 {
+		t.Errorf("Actuals aliases internal state: %v", again)
+	}
+}
+
+func TestBufferedWriteBackParams(t *testing.T) {
+	cache, err := pagecache.New(pagecache.Config{
+		PageSize:      4096,
+		CapacityPages: 64,
+		FlusherPeriod: 2 * time.Second,
+		Expire:        12 * time.Second,
+		FlushRatio:    0.8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb := NewBuffered(cache).WriteBack()
+	if wb.Period != 2*time.Second || wb.Expire != 12*time.Second {
+		t.Errorf("WriteBack() = %+v", wb)
+	}
+}

@@ -44,6 +44,16 @@ type Config struct {
 	// interval (free space, dirty set, WAF, GC counters, the policy's
 	// decision), retrievable via Simulator.Timeline after the run.
 	RecordTimeline bool
+	// NonPreemptiveBGC models devices whose background collections cannot
+	// be aborted once started (a NAND erase is not interruptible): a BGC
+	// chunk begun in an idle gap runs to completion even when a host
+	// request arrives meanwhile, delaying that request behind the
+	// collection. The single-device experiments keep the paper's idealized
+	// preemptible model (false); the array backend enables it, because the
+	// tail-latency collisions between striped requests and per-device GC —
+	// the effect coordination modes are measured against — only exist when
+	// collections occupy the device for real.
+	NonPreemptiveBGC bool
 }
 
 // DefaultConfig returns a ready-to-run scaled configuration: the default
@@ -124,8 +134,9 @@ type Simulator struct {
 	lastHostBusy time.Duration // snapshot at the previous tick
 	idleFrac     float64       // EMA of per-interval device idle share
 
-	acc        *predictor.AccuracyTracker
-	predictive bool
+	acc            *predictor.AccuracyTracker
+	predictive     bool
+	preconditioned bool
 
 	lat            metrics.LatencyRecorder
 	requests       int64
@@ -280,12 +291,14 @@ func (s *Simulator) run(reqs []trace.Request, closed bool) (metrics.Results, err
 }
 
 // precondition sequentially fills the configured working set and resets the
-// counters so measurement starts from a realistic steady occupancy.
+// counters so measurement starts from a realistic steady occupancy. It runs
+// at most once per simulator, so Begin and run compose.
 func (s *Simulator) precondition() error {
 	n := s.cfg.PreconditionPages
-	if n == 0 {
+	if n == 0 || s.preconditioned {
 		return nil
 	}
+	s.preconditioned = true
 	if n > s.ftl.UserPages() {
 		return fmt.Errorf("sim: precondition %d pages > user capacity %d", n, s.ftl.UserPages())
 	}
@@ -329,6 +342,13 @@ func (s *Simulator) runBGCUntil(t time.Duration) {
 			s.pendingBGC -= freed * pageBytes
 		}
 		if end := start + d; end > t {
+			if s.cfg.NonPreemptiveBGC {
+				// The chunk cannot be aborted: it overruns the event at t
+				// and the device stays busy until it finishes. No further
+				// chunk starts before t.
+				s.deviceFreeAt = end
+				return
+			}
 			// Preempt: the host request at t proceeds on time; the
 			// unfinished collection time resumes in the next idle window.
 			s.gcRemaining = end - t
@@ -421,6 +441,16 @@ func (s *Simulator) handleRequest(r trace.Request) error {
 // handleTick runs the flusher and the BGC policy at a write-back interval
 // boundary.
 func (s *Simulator) handleTick(t time.Duration) error {
+	if err := s.tickFlush(t); err != nil {
+		return err
+	}
+	s.tickApply(t, s.policy.OnInterval(t, view{s}))
+	return nil
+}
+
+// tickFlush is the first tick phase: advance the clock, score the previous
+// interval, and run the cache flusher.
+func (s *Simulator) tickFlush(t time.Duration) error {
 	s.now = t
 	s.ftl.SetNow(t)
 	s.acc.Tick()
@@ -431,9 +461,12 @@ func (s *Simulator) handleTick(t time.Duration) error {
 			return err
 		}
 	}
+	return nil
+}
 
+// tickApply is the final tick phase: install the interval decision.
+func (s *Simulator) tickApply(t time.Duration, dec core.Decision) {
 	free := s.ftl.WritableBytes()
-	dec := s.policy.OnInterval(t, view{s})
 	if dec.HasSIP {
 		s.ftl.SetSIPList(dec.SIP)
 	}
@@ -456,7 +489,6 @@ func (s *Simulator) handleTick(t time.Duration) error {
 			IdleFraction:   s.idleFrac,
 		})
 	}
-	return nil
 }
 
 // Timeline returns the per-interval samples captured during the run when
@@ -466,6 +498,61 @@ func (s *Simulator) Timeline() []metrics.TimelinePoint { return s.timeline }
 // IntervalActuals returns the device write volume (bytes) of each closed
 // write-back interval of the run — the series an Oracle policy replays.
 func (s *Simulator) IntervalActuals() []int64 { return s.acc.Actuals() }
+
+// The stepping API below lets an external driver — the multi-device array
+// backend — advance several simulators on one shared clock, interleaving
+// their events and intercepting their per-interval GC decisions. Run and
+// RunClosedLoop remain the single-device entry points; a stepped simulator
+// is driven open-loop (absolute request times), with any closed-loop
+// arrival computation done by the driver at the array level.
+
+// Begin prepares the simulator for externally driven stepping: the device
+// is preconditioned exactly as a full run would before its first event.
+func (s *Simulator) Begin() error { return s.precondition() }
+
+// StepRequest services one host request at its absolute arrival time
+// r.Time, first running pending background GC in the idle gap before it,
+// and returns the request's completion time.
+func (s *Simulator) StepRequest(r trace.Request) (time.Duration, error) {
+	if err := r.Validate(); err != nil {
+		return 0, err
+	}
+	s.runBGCUntil(r.Time)
+	if err := s.handleRequest(r); err != nil {
+		return 0, err
+	}
+	return s.lastCompletion, nil
+}
+
+// TickFlush runs the first phase of the write-back boundary at t: pending
+// background GC executes in the idle gap before t, then the cache flusher
+// writes expired pages back.
+func (s *Simulator) TickFlush(t time.Duration) error {
+	s.runBGCUntil(t)
+	return s.tickFlush(t)
+}
+
+// TickDecide runs the second phase: the installed policy's decision for
+// the interval starting at t. The driver may adjust the decision — that is
+// where an array GC coordinator intervenes — before handing it back to
+// TickApply.
+func (s *Simulator) TickDecide(t time.Duration) core.Decision {
+	return s.policy.OnInterval(t, view{s})
+}
+
+// TickApply runs the final phase: install dec (possibly adjusted by the
+// driver) as this interval's background GC program.
+func (s *Simulator) TickApply(t time.Duration, dec core.Decision) {
+	s.tickApply(t, dec)
+}
+
+// DirtyPages returns the number of dirty pages still held by the page
+// cache, the driver's drain condition.
+func (s *Simulator) DirtyPages() int { return s.cache.DirtyPageCount() }
+
+// Results assembles the run results accumulated so far. For stepped
+// simulators the driver calls it once after the final event.
+func (s *Simulator) Results() metrics.Results { return s.results() }
 
 // updateIdleFraction folds the last interval's host-driven device
 // occupancy into the idle-share estimate policies consult.

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -70,6 +71,11 @@ func parseLine(line string) (Request, error) {
 	us, err := strconv.ParseInt(fields[0], 10, 64)
 	if err != nil {
 		return Request{}, fmt.Errorf("bad time %q: %w", fields[0], err)
+	}
+	if us < 0 || us > math.MaxInt64/int64(time.Microsecond) {
+		// Converting to a nanosecond Duration would overflow — and a
+		// wrapped product can land positive, slipping past validation.
+		return Request{}, fmt.Errorf("time %d µs out of range", us)
 	}
 	var kind Kind
 	switch fields[1] {

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -38,7 +39,7 @@ type MSROptions struct {
 }
 
 func (o *MSROptions) setDefaults() {
-	if o.PageSize == 0 {
+	if o.PageSize <= 0 {
 		o.PageSize = 4096
 	}
 }
@@ -79,8 +80,13 @@ func DecodeMSR(r io.Reader, opts MSROptions) ([]Request, error) {
 		if ft < base && len(reqs) == 0 {
 			base = ft
 		}
-		// FILETIME ticks are 100 ns.
-		req.Time = time.Duration(ft-base) * 100 * time.Nanosecond
+		// FILETIME ticks are 100 ns. A wrapped product of the ×100 can
+		// land positive, so bound the tick delta before multiplying.
+		delta := ft - base
+		if delta > math.MaxInt64/100 {
+			return nil, fmt.Errorf("trace: msr line %d: timestamp %d too far past trace start", lineNo, ft)
+		}
+		req.Time = time.Duration(delta) * 100 * time.Nanosecond
 		if req.Time < 0 {
 			return nil, fmt.Errorf("trace: msr line %d: timestamp goes backwards", lineNo)
 		}
@@ -130,6 +136,11 @@ func parseMSRLine(line string, opts MSROptions) (Request, int, int64, error) {
 	}
 
 	ps := int64(opts.PageSize)
+	if size > math.MaxInt64-(ps-1) || offset > math.MaxInt64-(size+ps-1) {
+		// The page-rounding sum below would wrap, yielding a garbage
+		// (possibly negative) page count.
+		return Request{}, 0, 0, fmt.Errorf("offset %d + size %d out of range", offset, size)
+	}
 	lpn := offset / ps
 	pages := int((offset+size+ps-1)/ps - lpn)
 	if pages < 1 {

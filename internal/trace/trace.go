@@ -7,6 +7,7 @@ package trace
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 )
 
@@ -72,6 +73,9 @@ func (r Request) Validate() error {
 		return fmt.Errorf("trace: negative LPN %d", r.LPN)
 	case r.Pages <= 0:
 		return fmt.Errorf("trace: non-positive length %d pages", r.Pages)
+	case r.LPN > math.MaxInt64-int64(r.Pages):
+		// End() would wrap negative and slip past capacity checks.
+		return fmt.Errorf("trace: LPN %d + %d pages overflows", r.LPN, r.Pages)
 	}
 	return nil
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package jitgc
+
+const raceEnabled = false

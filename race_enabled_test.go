@@ -1,0 +1,8 @@
+//go:build race
+
+package jitgc
+
+// raceEnabled reports whether the race detector is compiled in; the golden
+// sweep uses it to skip its slowest cells (the wear-out replays take minutes
+// at race-detector speed while exercising no concurrency of their own).
+const raceEnabled = true
