@@ -10,7 +10,7 @@
 GO ?= go
 COVERAGE_BASELINE := $(shell cat ci/coverage-baseline.txt)
 
-.PHONY: ci build vet test test-race fuzz-regress coverage-gate fuzz bench
+.PHONY: ci build vet test test-race fuzz-regress coverage-gate fuzz bench bench-full
 
 ci: build vet test-race fuzz-regress coverage-gate
 
@@ -49,5 +49,14 @@ fuzz:
 	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/trace/
 	$(GO) test -fuzz FuzzDecodeMSR -fuzztime 30s ./internal/trace/
 
+# Benchmark smoke run: one iteration of the telemetry-overhead and
+# latency-recorder benchmarks, archived as machine-readable JSON. The paper
+# benchmarks run at full scale via bench-full.
 bench:
+	$(GO) test -bench='Telemetry|StreamingLatency' -benchmem -benchtime=1x -run '^$$' . | tee bench.out
+	$(GO) test -bench='LogHist|Percentile' -benchmem -benchtime=100x -run '^$$' \
+		./internal/telemetry/ ./internal/metrics/ | tee -a bench.out
+	$(GO) run ./ci/benchjson -in bench.out -out BENCH_pr3.json
+
+bench-full:
 	$(GO) test -bench=. -benchmem -run=^$$ .

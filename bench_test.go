@@ -12,6 +12,7 @@ import (
 
 	"jitgc/internal/core"
 	"jitgc/internal/ftl"
+	"jitgc/internal/telemetry"
 )
 
 const benchOps = 12000
@@ -229,4 +230,53 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(benchOps*b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkTelemetryOverheadOff measures the Fig. 2 workload with tracing
+// disabled — the nil-tracer hooks on every hot path. Compare against
+// BenchmarkTelemetryOverheadRing: the acceptance bound is <2% regression
+// against the pre-telemetry baseline, which this disabled path represents.
+func BenchmarkTelemetryOverheadOff(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run("Tiobench", Fixed(0.5), benchOpt()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(benchOps*b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkTelemetryOverheadRing measures the same workload with every event
+// captured into a bounded in-memory ring — the enabled-tracing cost floor
+// (no encoding or I/O).
+func BenchmarkTelemetryOverheadRing(b *testing.B) {
+	ring, err := telemetry.NewRingSink(1 << 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := benchOpt()
+	opt.Tracer = telemetry.New(ring)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run("Tiobench", Fixed(0.5), opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(benchOps*b.N)/b.Elapsed().Seconds(), "req/s")
+	b.ReportMetric(float64(ring.Total())/float64(b.N), "events/run")
+}
+
+// BenchmarkStreamingLatencyRecorder measures the constant-memory latency
+// path end to end on a full simulation run.
+func BenchmarkStreamingLatencyRecorder(b *testing.B) {
+	opt := benchOpt()
+	cfg, _ := opt.withDefaults().simConfig()
+	cfg.StreamingLatency = true
+	opt.Config = &cfg
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run("Tiobench", Fixed(0.5), opt); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -1,0 +1,132 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// summary, so CI can archive benchmark smoke runs as machine-readable
+// artifacts (make bench → BENCH_pr3.json) without external tooling.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem . | go run ./ci/benchjson -out BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric series (unit → value).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	in := flag.String("in", "-", "benchmark text output to read (- for stdin)")
+	out := flag.String("out", "-", "JSON file to write (- for stdout)")
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	results, err := parse(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(results) == 0 {
+		log.Fatal("no benchmark lines found in input")
+	}
+
+	b, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	b = append(b, '\n')
+	if *out == "-" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks written to %s\n", len(results), *out)
+}
+
+// parse extracts Benchmark lines of the form
+//
+//	BenchmarkName-8   12  93451 ns/op  4.5 req/s  120 B/op  3 allocs/op
+//
+// Pairs are (value, unit); unknown units land in Metrics.
+func parse(r io.Reader) ([]Result, error) {
+	var results []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. a "BenchmarkX ... FAIL" line
+		}
+		name := fields[0]
+		if s := lastDashSuffix(name); s != "" {
+			name = strings.TrimSuffix(name, "-"+s)
+		}
+		res := Result{Name: name, Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsOp = v
+			default:
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[unit] = v
+			}
+		}
+		results = append(results, res)
+	}
+	return results, sc.Err()
+}
+
+// lastDashSuffix returns the trailing -N GOMAXPROCS suffix of a benchmark
+// name, or "" when absent.
+func lastDashSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return ""
+	}
+	suffix := name[i+1:]
+	if _, err := strconv.Atoi(suffix); err != nil {
+		return ""
+	}
+	return suffix
+}

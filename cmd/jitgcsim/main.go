@@ -14,11 +14,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 
 	"jitgc"
 	"jitgc/internal/metrics"
 	"jitgc/internal/sim"
+	"jitgc/internal/telemetry"
 	"jitgc/internal/trace"
 )
 
@@ -40,6 +43,8 @@ func main() {
 		devices  = flag.Int("devices", 1, "number of SSDs in a striped array (1 = single-device simulation)")
 		stripe   = flag.Int64("stripe", 64, "array striping granularity in logical pages")
 		coord    = flag.String("coord", "independent", "array GC coordination mode (independent, coordinated)")
+		events   = flag.String("trace-events", "", "stream structured simulation events to this JSONL file")
+		pprofA   = flag.String("pprof", "", "serve pprof and expvar debug endpoints on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -54,13 +59,41 @@ func main() {
 		os.Exit(2)
 	}
 
-	spec := jitgc.PolicySpec{Kind: *policy, Factor: *factor, DisableSIP: *noSIP}
-	if *devices > 1 {
-		if *traceIn != "" || *timeline != "" {
-			log.Fatal("-devices > 1 supports synthetic benchmarks only (no -trace/-timeline)")
+	if *pprofA != "" {
+		addr, err := telemetry.ServeDebug(*pprofA)
+		if err != nil {
+			log.Fatal(err)
 		}
-		runArray(*bench, spec, *devices, *stripe, *coord,
-			jitgc.Options{Seed: *seed, Ops: *ops, Workers: *workers})
+		fmt.Fprintf(os.Stderr, "debug: pprof and expvar at http://%s/debug/pprof/\n", addr)
+	}
+	var sink *telemetry.JSONLSink
+	var tracer *telemetry.Tracer
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sink = telemetry.NewJSONLSink(f)
+		tracer = telemetry.New(sink)
+	}
+	closeSink := func() {
+		if sink == nil {
+			return
+		}
+		if err := sink.Close(); err != nil {
+			log.Fatalf("trace-events: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "trace-events: %d events written to %s\n", sink.Count(), *events)
+	}
+
+	spec := jitgc.PolicySpec{Kind: *policy, Factor: *factor, DisableSIP: *noSIP}
+	opt := jitgc.Options{Seed: *seed, Ops: *ops, Workers: *workers, Tracer: tracer}
+	if *devices > 1 {
+		if *traceIn != "" {
+			log.Fatal("-devices > 1 supports synthetic benchmarks only (no -trace)")
+		}
+		runArray(*bench, spec, *devices, *stripe, *coord, opt, *timeline)
+		closeSink()
 		return
 	}
 	var (
@@ -69,13 +102,14 @@ func main() {
 	)
 	switch {
 	case *traceIn != "":
-		res, err = replayTraceFile(*traceIn, *msr, spec, *timeline)
+		res, err = replayTraceFile(*traceIn, *msr, spec, *timeline, tracer)
 	default:
-		res, err = runBenchmark(*bench, spec, jitgc.Options{Seed: *seed, Ops: *ops, Workers: *workers}, *timeline)
+		res, err = runBenchmark(*bench, spec, opt, *timeline)
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
+	closeSink()
 
 	fmt.Printf("benchmark            %s\n", res.Workload)
 	fmt.Printf("policy               %s\n", res.Policy)
@@ -102,8 +136,15 @@ func main() {
 }
 
 // runArray runs a benchmark over the striped multi-device array and prints
-// the merged record plus the per-device spread.
-func runArray(bench string, spec jitgc.PolicySpec, devices int, stripe int64, coord string, opt jitgc.Options) {
+// the merged record plus the per-device spread. With a timeline path it
+// writes the merged array-level timeline there and each member's own
+// timeline next to it as <base>.devN<ext>.
+func runArray(bench string, spec jitgc.PolicySpec, devices int, stripe int64, coord string, opt jitgc.Options, timelinePath string) {
+	if timelinePath != "" {
+		cfg := sim.DefaultConfig()
+		cfg.RecordTimeline = true
+		opt.Config = &cfg
+	}
 	res, err := jitgc.RunArray(bench, spec, jitgc.ArrayConfig{
 		Devices:      devices,
 		StripePages:  stripe,
@@ -136,6 +177,40 @@ func runArray(bench string, spec jitgc.PolicySpec, devices int, stripe int64, co
 	if a.Predictive {
 		fmt.Printf("prediction accuracy  %.1f%%\n", 100*a.PredictionAccuracy)
 	}
+	if timelinePath != "" {
+		if err := writeArrayTimelines(timelinePath, res); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// writeArrayTimelines writes the merged array timeline to path and every
+// member device's timeline to <base>.devN<ext>.
+func writeArrayTimelines(path string, res jitgc.ArrayResults) error {
+	writeCSV := func(p string, points []metrics.TimelinePoint) error {
+		f, err := os.Create(p)
+		if err != nil {
+			return err
+		}
+		if err := metrics.WriteTimelineCSV(f, points); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := writeCSV(path, res.MergedTimeline); err != nil {
+		return err
+	}
+	ext := filepath.Ext(path)
+	base := strings.TrimSuffix(path, ext)
+	for i, tl := range res.Timelines {
+		if err := writeCSV(fmt.Sprintf("%s.dev%d%s", base, i, ext), tl); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "timeline: %d merged samples written to %s (+%d per-device files)\n",
+		len(res.MergedTimeline), path, len(res.Timelines))
+	return nil
 }
 
 // runBenchmark runs a synthetic benchmark, optionally capturing a timeline.
@@ -152,7 +227,7 @@ func runBenchmark(bench string, spec jitgc.PolicySpec, opt jitgc.Options, timeli
 }
 
 // replayTraceFile replays a recorded trace open-loop.
-func replayTraceFile(path string, msr bool, spec jitgc.PolicySpec, timelinePath string) (jitgc.Results, error) {
+func replayTraceFile(path string, msr bool, spec jitgc.PolicySpec, timelinePath string, tracer *telemetry.Tracer) (jitgc.Results, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return jitgc.Results{}, err
@@ -172,6 +247,7 @@ func replayTraceFile(path string, msr bool, spec jitgc.PolicySpec, timelinePath 
 	}
 	cfg.PreconditionPages = user / 2
 	cfg.RecordTimeline = timelinePath != ""
+	cfg.Tracer = tracer
 	// jitgc text traces carry think times (closed loop); MSR traces carry
 	// absolute arrival timestamps (open loop).
 	return runWithTimeline(reqs, path, spec, cfg, !msr, timelinePath)

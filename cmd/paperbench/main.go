@@ -4,6 +4,7 @@
 // Usage:
 //
 //	paperbench [-exp id[,id...]] [-ops N] [-seed S] [-workers W] [-list]
+//	           [-trace-events-dir DIR] [-pprof ADDR]
 //
 // With no -exp it runs every experiment in presentation order. The
 // independent simulation cells of each experiment grid fan out over
@@ -17,11 +18,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
 
 	"jitgc"
+	"jitgc/internal/telemetry"
 )
 
 func main() {
@@ -34,6 +37,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "workload generation seed")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation runs per experiment grid")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
+		evDir   = flag.String("trace-events-dir", "", "write one JSONL event stream per experiment into this directory")
+		pprofA  = flag.String("pprof", "", "serve pprof and expvar debug endpoints on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -61,13 +66,44 @@ func main() {
 		}
 	}
 
+	if *pprofA != "" {
+		addr, err := telemetry.ServeDebug(*pprofA)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "debug: pprof and expvar at http://%s/debug/pprof/\n", addr)
+	}
+	if *evDir != "" {
+		if err := os.MkdirAll(*evDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	opt := jitgc.Options{Seed: *seed, Ops: *ops, Workers: *workers}
 	var warnings int
 	for _, e := range exps {
+		// Each experiment gets its own JSONL stream; the grid cells of one
+		// experiment run concurrently and interleave into the shared sink.
+		expOpt := opt
+		var sink *telemetry.JSONLSink
+		if *evDir != "" {
+			f, err := os.Create(filepath.Join(*evDir, e.ID+".jsonl"))
+			if err != nil {
+				log.Fatal(err)
+			}
+			sink = telemetry.NewJSONLSink(f)
+			expOpt.Tracer = telemetry.New(sink)
+		}
 		start := time.Now()
-		tables, err := e.Run(opt)
+		tables, err := e.Run(expOpt)
 		if err != nil {
 			log.Fatalf("%s: %v", e.ID, err)
+		}
+		if sink != nil {
+			if err := sink.Close(); err != nil {
+				log.Fatalf("%s: trace-events: %v", e.ID, err)
+			}
+			fmt.Fprintf(os.Stderr, "trace-events: %s: %d events\n", e.ID, sink.Count())
 		}
 		fmt.Printf("=== %s — %s (%.1fs)\n\n", e.ID, e.Title, time.Since(start).Seconds())
 		for _, t := range tables {
@@ -85,7 +121,7 @@ func main() {
 // and exits with the conventional usage status.
 func usageError(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "paperbench: %s\n", fmt.Sprintf(format, args...))
-	fmt.Fprintf(os.Stderr, "usage: paperbench [-exp id[,id...]] [-ops N] [-seed S] [-workers W] [-list]\n")
+	fmt.Fprintf(os.Stderr, "usage: paperbench [-exp id[,id...]] [-ops N] [-seed S] [-workers W] [-list] [-trace-events-dir DIR] [-pprof ADDR]\n")
 	fmt.Fprintf(os.Stderr, "valid experiment ids: %s\n", strings.Join(jitgc.ExperimentIDs(), ", "))
 	os.Exit(2)
 }

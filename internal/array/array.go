@@ -36,6 +36,7 @@ import (
 	"jitgc/internal/core"
 	"jitgc/internal/metrics"
 	"jitgc/internal/sim"
+	"jitgc/internal/telemetry"
 	"jitgc/internal/trace"
 )
 
@@ -127,6 +128,7 @@ type Array struct {
 	devs  []*sim.Simulator
 	ext   [][]extent // per-device split scratch, reused across requests
 	token int        // next device the rotation token visits
+	tr    *telemetry.Tracer
 
 	perDevPages int64 // usable pages per device, stripe-aligned
 	userPages   int64 // array logical capacity
@@ -157,7 +159,11 @@ func New(cfg Config, factory sim.PolicyFactory) (*Array, error) {
 	}
 	devs := make([]*sim.Simulator, cfg.Devices)
 	for i := range devs {
-		s, err := sim.New(cfg.Device, factory)
+		// Each member's events carry its device index; the shared sink
+		// interleaves them into one array-level trace.
+		devCfg := cfg.Device
+		devCfg.Tracer = cfg.Device.Tracer.WithDevice(i)
+		s, err := sim.New(devCfg, factory)
 		if err != nil {
 			return nil, fmt.Errorf("array: device %d: %w", i, err)
 		}
@@ -174,15 +180,23 @@ func New(cfg Config, factory sim.PolicyFactory) (*Array, error) {
 	for i := range lastFree {
 		lastFree[i] = -1
 	}
-	return &Array{
+	a := &Array{
 		cfg:         cfg,
 		devs:        devs,
 		ext:         make([][]extent, cfg.Devices),
+		tr:          cfg.Device.Tracer,
 		lastFree:    lastFree,
 		burnEMA:     make([]int64, cfg.Devices),
 		perDevPages: perDev,
 		userPages:   perDev * int64(cfg.Devices),
-	}, nil
+	}
+	// The array-level recorder follows the member setting: whole-request
+	// latencies stream into a constant-memory histogram when the members'
+	// own recorders do.
+	if cfg.Device.StreamingLatency {
+		a.lat = *metrics.NewStreamingLatencyRecorder()
+	}
+	return a, nil
 }
 
 // UserPages returns the array's addressable logical capacity in pages.
@@ -352,7 +366,7 @@ func (a *Array) tick(t time.Duration) error {
 		decs[i] = d.TickDecide(t)
 	}
 	if a.cfg.Mode == Coordinated && len(a.devs) > 1 {
-		a.coordinate(decs)
+		a.coordinate(t, decs)
 	}
 	a.intervalReqs = 0
 	for i, d := range a.devs {
@@ -384,7 +398,7 @@ func (a *Array) tick(t time.Duration) error {
 // Urgency is the paper's T_idle/T_gc test lifted to the array: aggregate
 // demand over the τ_expire horizon versus aggregate free space, with GC
 // throughput limited to K concurrent collectors.
-func (a *Array) coordinate(decs []core.Decision) {
+func (a *Array) coordinate(t time.Duration, decs []core.Decision) {
 	n := len(a.devs)
 	k := a.cfg.MaxConcurrentGC
 	busy := a.intervalReqs > 0
@@ -456,11 +470,13 @@ func (a *Array) coordinate(decs []core.Decision) {
 			}
 			if critical {
 				a.granted++ // token bypass: deferral would become FGC
+				a.tr.Token(t, i, telemetry.ActionBypass, decs[i].ReclaimBytes, free[i])
 				continue
 			}
 			if !urgent {
 				decs[i].ReclaimBytes = 0
 				a.denied++ // deferred to the next inter-burst gap
+				a.tr.Token(t, i, telemetry.ActionDeny, ask, free[i])
 				continue
 			}
 			// Urgent mid-burst: grant asks as-is through the token — never
@@ -470,9 +486,11 @@ func (a *Array) coordinate(decs []core.Decision) {
 				grants++
 				a.granted++
 				advanceTo = i
+				a.tr.Token(t, i, telemetry.ActionGrant, decs[i].ReclaimBytes, free[i])
 			} else {
 				decs[i].ReclaimBytes = 0
 				a.denied++
+				a.tr.Token(t, i, telemetry.ActionDeny, ask, free[i])
 			}
 			continue
 		}
@@ -500,15 +518,20 @@ func (a *Array) coordinate(decs []core.Decision) {
 			grants++
 			a.granted++
 			advanceTo = i
+			action := telemetry.ActionGrant
 			if want > ask {
 				a.boosted++
+				action = telemetry.ActionBoost
 			}
 			decs[i].ReclaimBytes = want
+			a.tr.Token(t, i, action, want, free[i])
 		case ask > 0 && critical:
 			a.granted++ // beyond the token, but zeroing it would risk FGC
+			a.tr.Token(t, i, telemetry.ActionBypass, ask, free[i])
 		case ask > 0:
 			decs[i].ReclaimBytes = 0
 			a.denied++
+			a.tr.Token(t, i, telemetry.ActionDeny, ask, free[i])
 		}
 	}
 	if advanceTo >= 0 {

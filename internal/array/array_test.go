@@ -244,7 +244,7 @@ func TestCoordinateTokenRotation(t *testing.T) {
 		for i := range decs {
 			decs[i] = core.Decision{ReclaimBytes: 4096}
 		}
-		a.coordinate(decs)
+		a.coordinate(0, decs)
 		for i, d := range decs {
 			want := int64(0)
 			if i == round%4 {
@@ -272,7 +272,7 @@ func TestCoordinateCriticalBypass(t *testing.T) {
 		{ReclaimBytes: 4096}, {ReclaimBytes: 4096},
 		{ReclaimBytes: huge}, {ReclaimBytes: 4096},
 	}
-	a.coordinate(decs)
+	a.coordinate(0, decs)
 	if decs[2].ReclaimBytes != huge {
 		t.Errorf("critical device throttled to %d", decs[2].ReclaimBytes)
 	}

@@ -43,6 +43,13 @@ type Results struct {
 	// gap, boosts are gap grants topped up beyond the device's own ask to
 	// pre-collect for the coming burst.
 	GCGranted, GCDenied, GCBoosted int64
+
+	// Timelines holds each member device's per-interval state samples when
+	// Config.Device.RecordTimeline is set (nil otherwise), indexed by
+	// device; MergedTimeline is the per-tick array-level aggregate (see
+	// metrics.MergeTimelines for the merge semantics).
+	Timelines      [][]metrics.TimelinePoint
+	MergedTimeline []metrics.TimelinePoint
 }
 
 // WAFSpread returns WAFMax − WAFMin.
@@ -115,6 +122,16 @@ func (a *Array) results() Results {
 	}
 	if a.opsEnd > 0 {
 		agg.IOPS = float64(a.requests) / a.opsEnd.Seconds()
+	}
+	if agg.SimTime > 0 {
+		agg.SustainedIOPS = float64(a.requests) / agg.SimTime.Seconds()
+	}
+	if a.cfg.Device.RecordTimeline {
+		res.Timelines = make([][]metrics.TimelinePoint, n)
+		for i, d := range a.devs {
+			res.Timelines[i] = d.Timeline()
+		}
+		res.MergedTimeline = metrics.MergeTimelines(res.Timelines)
 	}
 	if selections > 0 {
 		agg.FilteredVictimPct = 100 * float64(filtered) / float64(selections)

@@ -1,0 +1,134 @@
+package array
+
+import (
+	"testing"
+
+	"jitgc/internal/telemetry"
+)
+
+// TestArrayTraceEvents is the acceptance check for the 2-device coordinated
+// trace: one run must yield request, flush-decision, GC, and token events,
+// with per-member device tags from both members.
+func TestArrayTraceEvents(t *testing.T) {
+	ring, err := telemetry.NewRingSink(1 << 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := tinyDevice()
+	dev.PreconditionPages = 256
+	dev.Tracer = telemetry.New(ring)
+	a := newArray(t, Config{
+		Devices: 2, StripePages: 4, Mode: Coordinated, MaxConcurrentGC: 1,
+		Device: dev,
+	})
+	res, err := a.RunClosedLoop(stream(2000, a.UserPages()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	counts := map[telemetry.EventType]int{}
+	devsSeen := map[int]bool{}
+	tokens := 0
+	for _, ev := range ring.Events() {
+		counts[ev.Type]++
+		if ev.Type == telemetry.EvRequest {
+			devsSeen[ev.Dev] = true
+		}
+		if ev.Type == telemetry.EvToken {
+			tokens++
+			switch ev.Action {
+			case telemetry.ActionGrant, telemetry.ActionDeny, telemetry.ActionBoost, telemetry.ActionBypass:
+			default:
+				t.Fatalf("unknown token action %q", ev.Action)
+			}
+		}
+	}
+	for _, ty := range []telemetry.EventType{
+		telemetry.EvRequest, telemetry.EvFlushDecision, telemetry.EvSnapshot,
+	} {
+		if counts[ty] == 0 {
+			t.Errorf("no %s events", ty)
+		}
+	}
+	if !devsSeen[0] || !devsSeen[1] {
+		t.Errorf("request events tagged for devices %v, want both members", devsSeen)
+	}
+	if wantTok := res.GCGranted + res.GCDenied + res.GCBoosted; wantTok > 0 && tokens == 0 {
+		t.Errorf("coordinator made %d decisions but emitted no token events", wantTok)
+	}
+	if res.Array.BGCCollections > 0 && counts[telemetry.EvGCStart] == 0 {
+		t.Error("collections ran but no gc_start events")
+	}
+}
+
+// TestArrayTimelines checks the per-member and merged array timelines a
+// 2-device run exposes through Results.
+func TestArrayTimelines(t *testing.T) {
+	dev := tinyDevice()
+	dev.PreconditionPages = 256
+	dev.RecordTimeline = true
+	a := newArray(t, Config{Devices: 2, StripePages: 4, Device: dev})
+	res, err := a.RunClosedLoop(stream(1200, a.UserPages()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timelines) != 2 {
+		t.Fatalf("Timelines for %d members, want 2", len(res.Timelines))
+	}
+	for i, tl := range res.Timelines {
+		if len(tl) == 0 {
+			t.Fatalf("device %d timeline empty", i)
+		}
+	}
+	m := res.MergedTimeline
+	if len(m) == 0 {
+		t.Fatal("merged timeline empty")
+	}
+	shortest := len(res.Timelines[0])
+	if n := len(res.Timelines[1]); n < shortest {
+		shortest = n
+	}
+	if len(m) != shortest {
+		t.Errorf("merged length %d, want shortest member %d", len(m), shortest)
+	}
+	// Spot-check the merge at tick 0: free bytes sum, WAF averages.
+	wantFree := res.Timelines[0][0].FreeBytes + res.Timelines[1][0].FreeBytes
+	if m[0].FreeBytes != wantFree {
+		t.Errorf("merged FreeBytes[0] = %d, want %d", m[0].FreeBytes, wantFree)
+	}
+	wantWAF := (res.Timelines[0][0].WAF + res.Timelines[1][0].WAF) / 2
+	if m[0].WAF != wantWAF {
+		t.Errorf("merged WAF[0] = %v, want %v", m[0].WAF, wantWAF)
+	}
+
+	// Without RecordTimeline the fields stay nil.
+	dev.RecordTimeline = false
+	a2 := newArray(t, Config{Devices: 2, StripePages: 4, Device: dev})
+	res2, err := a2.RunClosedLoop(stream(100, a2.UserPages()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Timelines != nil || res2.MergedTimeline != nil {
+		t.Error("timelines recorded without RecordTimeline")
+	}
+}
+
+// TestArrayStreamingLatency checks the array-level recorder follows the
+// member streaming setting and stays mergeable.
+func TestArrayStreamingLatency(t *testing.T) {
+	dev := tinyDevice()
+	dev.PreconditionPages = 256
+	dev.StreamingLatency = true
+	a := newArray(t, Config{Devices: 2, StripePages: 4, Device: dev})
+	res, err := a.RunClosedLoop(stream(800, a.UserPages()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.lat.Streaming() {
+		t.Fatal("array recorder not in streaming mode")
+	}
+	if res.Array.P99Latency <= 0 || res.P999Latency < res.Array.P99Latency {
+		t.Errorf("latency percentiles inconsistent: p99=%v p99.9=%v",
+			res.Array.P99Latency, res.P999Latency)
+	}
+}

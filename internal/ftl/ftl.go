@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"jitgc/internal/nand"
+	"jitgc/internal/telemetry"
 )
 
 // Errors returned by FTL operations.
@@ -141,6 +142,8 @@ type FTL struct {
 	stats           Stats
 	lastWLSelection int64  // selection count at the last wear-leveling pick
 	writeSeq        uint64 // monotone version counter for payload tokens
+
+	tr *telemetry.Tracer // nil = tracing disabled
 }
 
 // Payload tokens carry the logical page and a version so reads can verify
@@ -235,6 +238,10 @@ func (f *FTL) SetSelector(s VictimSelector) {
 // bookkeeping (cost-benefit selection). The simulator calls it as the clock
 // advances.
 func (f *FTL) SetNow(t time.Duration) { f.now = t }
+
+// SetTracer installs a telemetry tracer for GC and erase events (nil
+// disables tracing; the hooks then cost one pointer check).
+func (f *FTL) SetTracer(tr *telemetry.Tracer) { f.tr = tr }
 
 // FreePages returns the number of immediately programmable pages: whole
 // free blocks plus the tails of the active blocks.

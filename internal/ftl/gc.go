@@ -221,6 +221,11 @@ func (f *FTL) collectOnce(foreground bool) (time.Duration, error) {
 		}
 		victim = cands[f.selectVictim(cands, foreground)].Index
 	}
+	var freeBefore int64
+	if f.tr.Enabled() {
+		freeBefore = f.FreePages()
+		f.tr.GCStart(f.now, foreground, victim, f.dev.ValidCount(victim), f.sipPerBlock[victim])
+	}
 
 	var total time.Duration
 	ppb := f.cfg.Geometry.PagesPerBlock
@@ -246,6 +251,7 @@ func (f *FTL) collectOnce(foreground bool) (time.Duration, error) {
 			// The block retired at its erase limit: its valid data was
 			// already migrated, so it simply drops out of circulation and
 			// the device shrinks. Collection achieved no free space.
+			f.tr.GCEnd(f.now, foreground, victim, 0, total)
 			return total, nil
 		}
 		return total, err
@@ -257,6 +263,10 @@ func (f *FTL) collectOnce(foreground bool) (time.Duration, error) {
 	if !foreground {
 		f.stats.BGCCollections++
 		f.stats.BGCTime += total
+	}
+	if f.tr.Enabled() {
+		f.tr.Erase(f.now, victim, f.dev.EraseCount(victim), d)
+		f.tr.GCEnd(f.now, foreground, victim, f.FreePages()-freeBefore, total)
 	}
 	return total, nil
 }

@@ -10,6 +10,9 @@ import (
 	"sort"
 	"strings"
 	"time"
+	"unicode/utf8"
+
+	"jitgc/internal/telemetry"
 )
 
 // Results summarizes one simulation run.
@@ -23,8 +26,15 @@ type Results struct {
 	Requests int64
 	// SimTime is the simulated duration including any device overrun.
 	SimTime time.Duration
-	// IOPS is Requests divided by SimTime.
+	// IOPS is Requests divided by the completion time of the last host
+	// request. Trailing device overrun — background collections still
+	// draining after the final completion — is excluded, so IOPS reflects
+	// the rate the host observed. SustainedIOPS includes it.
 	IOPS float64
+	// SustainedIOPS is Requests divided by SimTime, i.e. including any
+	// trailing device overrun, the rate the device sustained end to end.
+	// It is ≤ IOPS and equals it when the run ends with an idle device.
+	SustainedIOPS float64
 
 	// WAF is the write amplification factor.
 	WAF float64
@@ -107,16 +117,44 @@ func (r Results) NormalizedWAF(base Results) float64 {
 }
 
 // LatencyRecorder accumulates request latencies and reports distribution
-// statistics.
+// statistics. The zero value records exactly: every sample is retained and
+// percentiles are true order statistics (the mode the golden files are
+// rendered under). NewStreamingLatencyRecorder instead folds samples into a
+// log-bucketed histogram with memory constant in sample count, for runs too
+// long to retain — percentiles are then accurate to one histogram bucket
+// (≤ ~3% relative error) and Samples returns nil.
 type LatencyRecorder struct {
 	samples []time.Duration
+	sorted  []time.Duration // cached ascending copy; nil when stale
 	sum     time.Duration
 	max     time.Duration
+	count   int64
+	hist    *telemetry.LogHist // non-nil selects streaming mode
 }
+
+// NewStreamingLatencyRecorder builds a recorder in streaming mode: constant
+// memory, bucket-accurate percentiles, mergeable via Hist.
+func NewStreamingLatencyRecorder() *LatencyRecorder {
+	return &LatencyRecorder{hist: telemetry.NewLogHist()}
+}
+
+// Streaming reports whether the recorder is in streaming (constant-memory)
+// mode.
+func (l *LatencyRecorder) Streaming() bool { return l.hist != nil }
+
+// Hist returns the backing streaming histogram (nil in exact mode), for
+// merging across array members.
+func (l *LatencyRecorder) Hist() *telemetry.LogHist { return l.hist }
 
 // Add records one latency sample.
 func (l *LatencyRecorder) Add(d time.Duration) {
-	l.samples = append(l.samples, d)
+	if l.hist != nil {
+		l.hist.Add(int64(d))
+	} else {
+		l.samples = append(l.samples, d)
+		l.sorted = nil // invalidate the percentile cache
+	}
+	l.count++
 	l.sum += d
 	if d > l.max {
 		l.max = d
@@ -124,31 +162,41 @@ func (l *LatencyRecorder) Add(d time.Duration) {
 }
 
 // Count returns the number of samples.
-func (l *LatencyRecorder) Count() int { return len(l.samples) }
+func (l *LatencyRecorder) Count() int { return int(l.count) }
 
 // Mean returns the mean latency (0 with no samples).
 func (l *LatencyRecorder) Mean() time.Duration {
-	if len(l.samples) == 0 {
+	if l.count == 0 {
 		return 0
 	}
-	return l.sum / time.Duration(len(l.samples))
+	return l.sum / time.Duration(l.count)
 }
 
 // Max returns the maximum latency.
 func (l *LatencyRecorder) Max() time.Duration { return l.max }
 
-// Samples returns the recorded latencies in arrival order. The slice is the
-// recorder's own backing store — callers must not modify it.
+// Samples returns the recorded latencies in arrival order (nil in
+// streaming mode, which does not retain them). The slice is the recorder's
+// own backing store — callers must not modify it.
 func (l *LatencyRecorder) Samples() []time.Duration { return l.samples }
 
-// Percentile returns the p-th percentile latency (p in [0,100]).
+// Percentile returns the p-th percentile latency (p in [0,100]). In exact
+// mode the sorted order is computed once and cached until the next Add, so
+// querying p99 and p99.9 back-to-back sorts once; in streaming mode every
+// query is an O(1)-memory histogram walk.
 func (l *LatencyRecorder) Percentile(p float64) time.Duration {
-	if len(l.samples) == 0 {
+	if l.count == 0 {
 		return 0
 	}
-	sorted := make([]time.Duration, len(l.samples))
-	copy(sorted, l.samples)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if l.hist != nil {
+		return time.Duration(l.hist.Quantile(p / 100))
+	}
+	if l.sorted == nil {
+		l.sorted = make([]time.Duration, len(l.samples))
+		copy(l.sorted, l.samples)
+		sort.Slice(l.sorted, func(i, j int) bool { return l.sorted[i] < l.sorted[j] })
+	}
+	sorted := l.sorted
 	if p <= 0 {
 		return sorted[0]
 	}
@@ -182,16 +230,20 @@ func (t *Table) AddNote(format string, args ...any) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
 }
 
-// String renders the table.
+// String renders the table. Column widths are measured in runes, not
+// bytes: fmt's %-*s padding counts runes, so a byte-measured width would
+// over-pad any column whose widest cell contains a multibyte rune (every
+// time.Duration under 1 ms renders with a two-byte µ) and break the
+// column's alignment against its separator row.
 func (t *Table) String() string {
 	widths := make([]int, len(t.Columns))
 	for i, c := range t.Columns {
-		widths[i] = len(c)
+		widths[i] = utf8.RuneCountInString(c)
 	}
 	for _, row := range t.Rows {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
+			if n := utf8.RuneCountInString(cell); i < len(widths) && n > widths[i] {
+				widths[i] = n
 			}
 		}
 	}

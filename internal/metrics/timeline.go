@@ -32,6 +32,43 @@ type TimelinePoint struct {
 	IdleFraction float64
 }
 
+// MergeTimelines folds per-device timelines (array members ticking on one
+// shared clock, so point i of every member carries the same T) into one
+// array-level timeline: capacities, dirty sets, and GC counters are summed;
+// WAF and IdleFraction — per-device ratios with no per-point weights — are
+// averaged. The merged length is the shortest member's (members may record
+// one tick less when their cache drains first).
+func MergeTimelines(per [][]TimelinePoint) []TimelinePoint {
+	if len(per) == 0 {
+		return nil
+	}
+	n := len(per[0])
+	for _, tl := range per[1:] {
+		if len(tl) < n {
+			n = len(tl)
+		}
+	}
+	merged := make([]TimelinePoint, n)
+	for i := range merged {
+		m := TimelinePoint{T: per[0][i].T}
+		for _, tl := range per {
+			p := tl[i]
+			m.FreeBytes += p.FreeBytes
+			m.DirtyPages += p.DirtyPages
+			m.WAF += p.WAF
+			m.FGCInvocations += p.FGCInvocations
+			m.BGCCollections += p.BGCCollections
+			m.ReclaimBytes += p.ReclaimBytes
+			m.PredictedBytes += p.PredictedBytes
+			m.IdleFraction += p.IdleFraction
+		}
+		m.WAF /= float64(len(per))
+		m.IdleFraction /= float64(len(per))
+		merged[i] = m
+	}
+	return merged
+}
+
 // WriteTimelineCSV serializes a timeline as CSV with a header row, suitable
 // for plotting tools.
 func WriteTimelineCSV(w io.Writer, points []TimelinePoint) error {

@@ -17,6 +17,7 @@ import (
 	"jitgc/internal/metrics"
 	"jitgc/internal/pagecache"
 	"jitgc/internal/predictor"
+	"jitgc/internal/telemetry"
 	"jitgc/internal/trace"
 )
 
@@ -44,6 +45,18 @@ type Config struct {
 	// interval (free space, dirty set, WAF, GC counters, the policy's
 	// decision), retrievable via Simulator.Timeline after the run.
 	RecordTimeline bool
+	// Tracer, when non-nil, receives streaming telemetry events: one per
+	// host request completion, per flush-tick policy decision (plus a stats
+	// snapshot), and — forwarded to the FTL — per GC collection and block
+	// erase. A nil Tracer costs one pointer check per hook and emits
+	// nothing.
+	Tracer *telemetry.Tracer
+	// StreamingLatency switches the latency recorder to the log-bucketed
+	// streaming histogram: memory constant in request count, percentiles
+	// accurate to one histogram bucket (≤ ~3% relative error). The default
+	// exact mode retains every sample and reports true order statistics —
+	// the mode the golden files are rendered under.
+	StreamingLatency bool
 	// NonPreemptiveBGC models devices whose background collections cannot
 	// be aborted once started (a NAND erase is not interruptible): a BGC
 	// chunk begun in an idle gap runs to completion even when a host
@@ -121,6 +134,7 @@ type Simulator struct {
 	ftl    *ftl.FTL
 	policy core.Policy
 	env    *Env
+	tr     *telemetry.Tracer
 
 	parallel float64
 
@@ -190,6 +204,11 @@ func New(cfg Config, factory PolicyFactory) (*Simulator, error) {
 		// τ_expire window (Table 2's accuracy).
 		acc:      predictor.NewAccuracyTracker(env.WriteBack.Nwb()),
 		idleFrac: 1, // optimistic until the first interval is measured
+		tr:       cfg.Tracer,
+	}
+	device.SetTracer(cfg.Tracer)
+	if cfg.StreamingLatency {
+		s.lat = *metrics.NewStreamingLatencyRecorder()
 	}
 	_, isDirect := policy.(directObserver)
 	_, isDevice := policy.(deviceObserver)
@@ -435,6 +454,7 @@ func (s *Simulator) handleRequest(r trace.Request) error {
 		}
 		s.complete(r.Time, s.deviceFreeAt)
 	}
+	s.tr.Request(r.Time, r.Kind.String(), r.LPN, r.Pages, s.lastCompletion-r.Time)
 	return nil
 }
 
@@ -474,6 +494,12 @@ func (s *Simulator) tickApply(t time.Duration, dec core.Decision) {
 	s.bgcReadyAt = t
 	if s.predictive {
 		s.acc.RecordPrediction(dec.PredictedBytes)
+	}
+	if s.tr.Enabled() {
+		st := s.ftl.Stats()
+		s.tr.FlushDecision(t, free, dec.ReclaimBytes, dec.PredictedBytes, s.idleFrac)
+		s.tr.Snapshot(t, free, s.cache.DirtyPageCount(), st.WAF(),
+			st.FGCInvocations, st.BGCCollections, s.requests)
 	}
 	if s.cfg.RecordTimeline {
 		st := s.ftl.Stats()
@@ -662,6 +688,9 @@ func (s *Simulator) results() metrics.Results {
 	}
 	if s.opsEnd > 0 {
 		res.IOPS = float64(s.requests) / s.opsEnd.Seconds()
+	}
+	if simTime > 0 {
+		res.SustainedIOPS = float64(s.requests) / simTime.Seconds()
 	}
 	if st.VictimSelections > 0 {
 		res.FilteredVictimPct = 100 * float64(st.FilteredSelections) / float64(st.VictimSelections)

@@ -1,0 +1,44 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// ServeDebug starts an HTTP debug server on addr (e.g. "localhost:6060")
+// exposing the Go pprof profiles under /debug/pprof/ and runtime metrics
+// under /debug/vars — the endpoints a long-running experiment grid is
+// inspected through. It returns the bound listener address (useful with
+// ":0") and never blocks; the server runs until the process exits.
+//
+// The handlers are registered on a private mux, not http.DefaultServeMux,
+// so importing this package never changes the surface of an application
+// that serves HTTP itself.
+func ServeDebug(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: debug server: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck — lives for the process lifetime
+	return ln.Addr().String(), nil
+}
+
+// init publishes goroutine and GOMAXPROCS gauges next to expvar's built-in
+// memstats, so /debug/vars answers the first questions about a stuck grid.
+func init() {
+	expvar.Publish("goroutines", expvar.Func(func() any { return runtime.NumGoroutine() }))
+	expvar.Publish("gomaxprocs", expvar.Func(func() any { return runtime.GOMAXPROCS(0) }))
+}

@@ -1,0 +1,38 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestServeDebug(t *testing.T) {
+	addr, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/debug/pprof/", "/debug/vars"} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if path == "/debug/vars" {
+			var vars map[string]any
+			if err := json.Unmarshal(body, &vars); err != nil {
+				t.Errorf("/debug/vars is not JSON: %v", err)
+			} else if _, ok := vars["goroutines"]; !ok {
+				t.Error("/debug/vars missing the goroutines gauge")
+			}
+		}
+	}
+
+	if _, err := ServeDebug("256.0.0.1:-1"); err == nil {
+		t.Error("bad listen address accepted")
+	}
+}

@@ -1,0 +1,101 @@
+// Package telemetry is the simulator's streaming observability layer: typed
+// trace events emitted through pluggable sinks (JSONL writer, bounded
+// in-memory ring), a nil-check-cheap Tracer front end the hot paths call
+// unconditionally, a log-bucketed streaming latency histogram whose memory
+// is constant in sample count, and a debug HTTP server exposing pprof and
+// runtime metrics for long-running experiment grids.
+//
+// The design constraint is that a disabled tracer costs nothing measurable:
+// every emit helper is a method on a possibly-nil *Tracer and returns after
+// a single pointer comparison, so the simulator, FTL, and array backends can
+// call hooks unconditionally on their hot paths.
+package telemetry
+
+import "time"
+
+// EventType discriminates trace events.
+type EventType string
+
+// Event types emitted by the simulator stack.
+const (
+	// EvRequest is a host request completion (one per request, emitted by
+	// the per-device simulator; in an array run the Dev field tags the
+	// member that serviced the segment).
+	EvRequest EventType = "request"
+	// EvFlushDecision is the per-write-back-tick policy decision: the
+	// installed BGC policy's D_reclaim request and C_req forecast against
+	// the free space it saw.
+	EvFlushDecision EventType = "flush_decision"
+	// EvGCStart and EvGCEnd bracket one victim collection (foreground or
+	// background) with the victim's stats.
+	EvGCStart EventType = "gc_start"
+	EvGCEnd   EventType = "gc_end"
+	// EvErase is one block erase.
+	EvErase EventType = "erase"
+	// EvToken is an array GC-coordination token hand-off decision for one
+	// member device in one interval.
+	EvToken EventType = "token"
+	// EvSnapshot is the periodic per-device stats snapshot emitted at every
+	// write-back tick (the streaming form of a timeline point).
+	EvSnapshot EventType = "snapshot"
+)
+
+// Event is one trace record. It is a flat union over all event types: only
+// the fields meaningful for Type are populated, and zero-valued fields are
+// omitted from the JSONL encoding. T is the simulation clock, not wall
+// time.
+type Event struct {
+	Type EventType     `json:"type"`
+	T    time.Duration `json:"t_ns"`
+	// Dev is the array member index the event belongs to (0 in
+	// single-device runs, -1 for array-level events that belong to no
+	// single member).
+	Dev int `json:"dev,omitempty"`
+
+	// Request fields (EvRequest).
+	Kind    string        `json:"kind,omitempty"`
+	LPN     int64         `json:"lpn,omitempty"`
+	Pages   int           `json:"pages,omitempty"`
+	Latency time.Duration `json:"latency_ns,omitempty"`
+
+	// Policy decision fields (EvFlushDecision, EvToken).
+	FreeBytes      int64   `json:"free_bytes,omitempty"`
+	ReclaimBytes   int64   `json:"reclaim_bytes,omitempty"`
+	PredictedBytes int64   `json:"predicted_bytes,omitempty"`
+	IdleFraction   float64 `json:"idle_fraction,omitempty"`
+
+	// GC fields (EvGCStart, EvGCEnd, EvErase).
+	Foreground bool          `json:"foreground,omitempty"`
+	Victim     int           `json:"victim,omitempty"`
+	ValidPages int           `json:"valid_pages,omitempty"`
+	SIPPages   int           `json:"sip_pages,omitempty"`
+	FreedPages int64         `json:"freed_pages,omitempty"`
+	Elapsed    time.Duration `json:"elapsed_ns,omitempty"`
+	EraseCount int64         `json:"erase_count,omitempty"`
+
+	// Token fields (EvToken): the coordinator's verdict for this device's
+	// ask in this interval.
+	Action string `json:"action,omitempty"`
+
+	// Snapshot fields (EvSnapshot).
+	DirtyPages     int     `json:"dirty_pages,omitempty"`
+	WAF            float64 `json:"waf,omitempty"`
+	FGCInvocations int64   `json:"fgc,omitempty"`
+	BGCCollections int64   `json:"bgc,omitempty"`
+	Requests       int64   `json:"requests,omitempty"`
+}
+
+// Token hand-off actions (Event.Action for EvToken).
+const (
+	// ActionGrant: the ask passed through the rotation token unchanged.
+	ActionGrant = "grant"
+	// ActionDeny: a mid-burst ask deferred to the next inter-burst gap, or
+	// an ask beyond the token width.
+	ActionDeny = "deny"
+	// ActionBoost: a gap grant topped up beyond the device's own ask to
+	// pre-collect for the coming burst.
+	ActionBoost = "boost"
+	// ActionBypass: a critical device allowed past the token because
+	// denying it would only convert the work into a foreground stall.
+	ActionBypass = "bypass"
+)

@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	want := []Event{
+		{Type: EvRequest, T: 5 * time.Millisecond, Kind: "buffered-write", LPN: 42, Pages: 8, Latency: 900 * time.Microsecond},
+		{Type: EvFlushDecision, T: time.Second, Dev: 1, FreeBytes: 1 << 20, ReclaimBytes: 4096, PredictedBytes: 8192, IdleFraction: 0.25},
+		{Type: EvGCStart, T: 2 * time.Second, Foreground: true, Victim: 7, ValidPages: 3, SIPPages: 1},
+		{Type: EvGCEnd, T: 2*time.Second + time.Millisecond, Foreground: true, Victim: 7, FreedPages: 13, Elapsed: time.Millisecond},
+		{Type: EvErase, T: 3 * time.Second, Victim: 7, EraseCount: 4, Elapsed: 2 * time.Millisecond},
+		{Type: EvToken, T: 4 * time.Second, Dev: 3, Action: ActionBoost, ReclaimBytes: 4096, FreeBytes: 1 << 19},
+		{Type: EvSnapshot, T: 5 * time.Second, FreeBytes: 1 << 18, DirtyPages: 12, WAF: 1.25, FGCInvocations: 1, BGCCollections: 9, Requests: 1000},
+	}
+
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	for _, ev := range want {
+		s.Emit(ev)
+	}
+	if s.Count() != int64(len(want)) {
+		t.Errorf("Count = %d, want %d", s.Count(), len(want))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	if n := strings.Count(buf.String(), "\n"); n != len(want) {
+		t.Errorf("%d lines written, want %d", n, len(want))
+	}
+	got, err := DecodeJSONL(&buf)
+	if err != nil {
+		t.Fatalf("DecodeJSONL: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestDecodeJSONLMalformed(t *testing.T) {
+	in := "{\"type\":\"erase\",\"t_ns\":1}\nnot json\n"
+	evs, err := DecodeJSONL(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("malformed line accepted")
+	}
+	if len(evs) != 1 {
+		t.Errorf("%d events decoded before the error, want 1", len(evs))
+	}
+}
+
+// failWriter fails every write after the first n bytes.
+type failWriter struct{ left int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if len(p) > w.left {
+		n := w.left
+		w.left = 0
+		return n, errors.New("disk full")
+	}
+	w.left -= len(p)
+	return len(p), nil
+}
+
+func TestJSONLSinkStickyError(t *testing.T) {
+	// A tiny buffer forces the write through to the failing writer.
+	s := &JSONLSink{bw: bufio.NewWriterSize(&failWriter{left: 10}, 16)}
+	for i := 0; i < 100; i++ {
+		s.Emit(Event{Type: EvErase, T: time.Duration(i)})
+	}
+	if err := s.Close(); err == nil {
+		t.Error("Close returned nil after write failure")
+	}
+	if n := s.Count(); n >= 100 {
+		t.Errorf("Count = %d; emits after the error must be dropped", n)
+	}
+}
+
+func TestJSONLSinkConcurrentEmit(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	var wg sync.WaitGroup
+	const workers, per = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Emit(Event{Type: EvRequest, T: time.Duration(w*per + i), Dev: w})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	evs, err := DecodeJSONL(&buf)
+	if err != nil {
+		t.Fatalf("DecodeJSONL: %v", err)
+	}
+	if len(evs) != workers*per {
+		t.Errorf("%d events decoded, want %d", len(evs), workers*per)
+	}
+}
+
+func TestRingSinkOverwrite(t *testing.T) {
+	r, err := NewRingSink(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Under capacity: everything retained in order.
+	for i := 0; i < 3; i++ {
+		r.Emit(Event{Type: EvErase, T: time.Duration(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("%d events before wrap, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.T != time.Duration(i) {
+			t.Errorf("event %d has T=%d, want %d", i, ev.T, i)
+		}
+	}
+
+	// Past capacity: oldest overwritten, order preserved.
+	for i := 3; i < 10; i++ {
+		r.Emit(Event{Type: EvErase, T: time.Duration(i)})
+	}
+	evs = r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("%d events after wrap, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := time.Duration(6 + i); ev.T != want {
+			t.Errorf("event %d has T=%d, want %d (most recent four)", i, ev.T, want)
+		}
+	}
+	if r.Total() != 10 {
+		t.Errorf("Total = %d, want 10", r.Total())
+	}
+	if err := r.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+
+	if _, err := NewRingSink(0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	if tr.WithDevice(3) != nil {
+		t.Error("WithDevice on nil tracer is non-nil")
+	}
+	if tr.Sink() != nil {
+		t.Error("Sink on nil tracer is non-nil")
+	}
+	// Every emit helper must be a no-op on the nil receiver.
+	tr.Request(0, "read", 0, 1, 0)
+	tr.FlushDecision(0, 0, 0, 0, 0)
+	tr.GCStart(0, false, 0, 0, 0)
+	tr.GCEnd(0, false, 0, 0, 0)
+	tr.Erase(0, 0, 0, 0)
+	tr.Token(0, 0, ActionGrant, 0, 0)
+	tr.Snapshot(0, 0, 0, 0, 0, 0, 0)
+
+	if New(nil) != nil {
+		t.Error("New(nil) returned a live tracer")
+	}
+}
+
+func TestTracerDeviceTagging(t *testing.T) {
+	r, err := NewRingSink(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New(r)
+	tr.Request(1, "read", 10, 1, 2)
+	tr.WithDevice(5).Request(2, "read", 20, 1, 2)
+	tr.Token(3, 7, ActionDeny, 100, 200)
+
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("%d events, want 3", len(evs))
+	}
+	if evs[0].Dev != 0 || evs[1].Dev != 5 || evs[2].Dev != 7 {
+		t.Errorf("device tags = %d,%d,%d, want 0,5,7", evs[0].Dev, evs[1].Dev, evs[2].Dev)
+	}
+	if evs[2].Action != ActionDeny {
+		t.Errorf("token action = %q, want %q", evs[2].Action, ActionDeny)
+	}
+}
+
+// Exercise the String methods for coverage and sanity.
+func TestEventTypeStrings(t *testing.T) {
+	for _, ty := range []EventType{EvRequest, EvFlushDecision, EvGCStart, EvGCEnd, EvErase, EvToken, EvSnapshot} {
+		if ty == "" {
+			t.Error("empty event type constant")
+		}
+	}
+	h := NewLogHist()
+	h.Add(100)
+	if s := fmt.Sprint(h); !strings.Contains(s, "n=1") {
+		t.Errorf("LogHist.String = %q", s)
+	}
+}

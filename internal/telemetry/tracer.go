@@ -1,0 +1,111 @@
+package telemetry
+
+import "time"
+
+// Tracer is the front end the simulator stack holds: a thin, device-tagged
+// handle over a shared Sink. The nil *Tracer is the disabled state — every
+// emit helper begins with a nil check and returns immediately, so callers
+// wire hooks unconditionally into hot paths and pay one pointer comparison
+// when tracing is off.
+//
+// Tracers are immutable; WithDevice derives tagged handles for array
+// members that share the parent's sink.
+type Tracer struct {
+	sink Sink
+	dev  int
+}
+
+// New builds a tracer emitting to sink. A nil sink yields a nil (disabled)
+// tracer.
+func New(sink Sink) *Tracer {
+	if sink == nil {
+		return nil
+	}
+	return &Tracer{sink: sink, dev: 0}
+}
+
+// Enabled reports whether the tracer emits events.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// WithDevice derives a tracer that tags every event with array member
+// index dev, sharing the receiver's sink.
+func (t *Tracer) WithDevice(dev int) *Tracer {
+	if t == nil {
+		return nil
+	}
+	return &Tracer{sink: t.sink, dev: dev}
+}
+
+// Sink returns the underlying sink (nil for a disabled tracer), so the
+// owner of the CLI lifecycle can flush and close it.
+func (t *Tracer) Sink() Sink {
+	if t == nil {
+		return nil
+	}
+	return t.sink
+}
+
+// Request emits a host request completion.
+func (t *Tracer) Request(now time.Duration, kind string, lpn int64, pages int, latency time.Duration) {
+	if t == nil {
+		return
+	}
+	t.sink.Emit(Event{Type: EvRequest, T: now, Dev: t.dev,
+		Kind: kind, LPN: lpn, Pages: pages, Latency: latency})
+}
+
+// FlushDecision emits the per-tick BGC policy decision.
+func (t *Tracer) FlushDecision(now time.Duration, freeBytes, reclaimBytes, predictedBytes int64, idleFraction float64) {
+	if t == nil {
+		return
+	}
+	t.sink.Emit(Event{Type: EvFlushDecision, T: now, Dev: t.dev,
+		FreeBytes: freeBytes, ReclaimBytes: reclaimBytes,
+		PredictedBytes: predictedBytes, IdleFraction: idleFraction})
+}
+
+// GCStart emits the start of one victim collection.
+func (t *Tracer) GCStart(now time.Duration, foreground bool, victim, validPages, sipPages int) {
+	if t == nil {
+		return
+	}
+	t.sink.Emit(Event{Type: EvGCStart, T: now, Dev: t.dev,
+		Foreground: foreground, Victim: victim, ValidPages: validPages, SIPPages: sipPages})
+}
+
+// GCEnd emits the end of one victim collection with what it achieved.
+func (t *Tracer) GCEnd(now time.Duration, foreground bool, victim int, freedPages int64, elapsed time.Duration) {
+	if t == nil {
+		return
+	}
+	t.sink.Emit(Event{Type: EvGCEnd, T: now, Dev: t.dev,
+		Foreground: foreground, Victim: victim, FreedPages: freedPages, Elapsed: elapsed})
+}
+
+// Erase emits one block erase.
+func (t *Tracer) Erase(now time.Duration, block int, eraseCount int64, elapsed time.Duration) {
+	if t == nil {
+		return
+	}
+	t.sink.Emit(Event{Type: EvErase, T: now, Dev: t.dev,
+		Victim: block, EraseCount: eraseCount, Elapsed: elapsed})
+}
+
+// Token emits one array GC-coordination hand-off decision for member dev.
+func (t *Tracer) Token(now time.Duration, dev int, action string, reclaimBytes, freeBytes int64) {
+	if t == nil {
+		return
+	}
+	t.sink.Emit(Event{Type: EvToken, T: now, Dev: dev,
+		Action: action, ReclaimBytes: reclaimBytes, FreeBytes: freeBytes})
+}
+
+// Snapshot emits the periodic per-device stats snapshot.
+func (t *Tracer) Snapshot(now time.Duration, freeBytes int64, dirtyPages int, waf float64, fgc, bgc, requests int64) {
+	if t == nil {
+		return
+	}
+	t.sink.Emit(Event{Type: EvSnapshot, T: now, Dev: t.dev,
+		FreeBytes: freeBytes, DirtyPages: dirtyPages, WAF: waf,
+		FGCInvocations: fgc, BGCCollections: bgc, Requests: requests})
+}

@@ -22,6 +22,7 @@ import (
 	"jitgc/internal/ftl"
 	"jitgc/internal/metrics"
 	"jitgc/internal/sim"
+	"jitgc/internal/telemetry"
 	"jitgc/internal/trace"
 	"jitgc/internal/workload"
 )
@@ -128,6 +129,12 @@ type Options struct {
 	// written into pre-indexed slots, so reports are byte-identical for
 	// every worker count. Single-run entry points like Run ignore it.
 	Workers int
+	// Tracer, when non-nil, streams structured simulation events (request
+	// completions, flush-tick decisions, GC episodes, erases) through the
+	// telemetry layer. It is copied into the simulator configuration; grid
+	// runners share one tracer across cells, so its sink must be
+	// concurrent-safe (telemetry.JSONLSink and RingSink both are).
+	Tracer *telemetry.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -171,6 +178,9 @@ func (o Options) simConfig() (sim.Config, int64) {
 	}
 	if cfg.PreconditionPages > user {
 		cfg.PreconditionPages = user
+	}
+	if o.Tracer != nil {
+		cfg.Tracer = o.Tracer
 	}
 	return cfg, ws
 }
