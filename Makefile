@@ -10,9 +10,9 @@
 GO ?= go
 COVERAGE_BASELINE := $(shell cat ci/coverage-baseline.txt)
 
-.PHONY: ci build vet test test-race fuzz-regress coverage-gate fuzz bench bench-full
+.PHONY: ci build vet test test-race fuzz-regress fault-regress coverage-gate fuzz bench bench-full
 
-ci: build vet test-race fuzz-regress coverage-gate
+ci: build vet test-race fuzz-regress fault-regress coverage-gate
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,15 @@ test-race:
 # failure.
 fuzz-regress:
 	$(GO) test -run '^Fuzz' -count=1 ./internal/trace/
+
+# Fault-injection sweep under the race detector: the recovery paths (page
+# skipping, block retirement, read retries, degraded array members) run
+# against randomized interleavings and targeted one-shot faults. Isolated
+# from test-race so a recovery regression is named in CI output.
+fault-regress:
+	$(GO) test -race -count=1 \
+		-run 'Fault|Degraded|Retire|ReadRetry|WriteSeq|ReclaimBackgroundPropagates|GCPairing|TracerEmitsSimulationEvents' \
+		./internal/nand/ ./internal/ftl/ ./internal/array/ ./internal/sim/
 
 # Fail if total statement coverage of internal/... falls below the
 # baseline recorded in ci/coverage-baseline.txt. Raise the baseline when

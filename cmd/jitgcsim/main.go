@@ -45,8 +45,16 @@ func main() {
 		coord    = flag.String("coord", "independent", "array GC coordination mode (independent, coordinated)")
 		events   = flag.String("trace-events", "", "stream structured simulation events to this JSONL file")
 		pprofA   = flag.String("pprof", "", "serve pprof and expvar debug endpoints on this address (e.g. localhost:6060)")
+		faultR   = flag.Float64("fault-rate", 0, "per-operation NAND failure probability (0 disables fault injection; enables FTL recovery)")
+		faultS   = flag.Int64("fault-seed", 1, "fault model RNG seed, independent of -seed")
 	)
 	flag.Parse()
+
+	if *faultR < 0 || *faultR > 1 {
+		fmt.Fprintf(os.Stderr, "jitgcsim: -fault-rate must be in [0,1], got %v\n", *faultR)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if *workers < 1 {
 		fmt.Fprintf(os.Stderr, "jitgcsim: -workers must be at least 1, got %d\n", *workers)
@@ -87,7 +95,8 @@ func main() {
 	}
 
 	spec := jitgc.PolicySpec{Kind: *policy, Factor: *factor, DisableSIP: *noSIP}
-	opt := jitgc.Options{Seed: *seed, Ops: *ops, Workers: *workers, Tracer: tracer}
+	opt := jitgc.Options{Seed: *seed, Ops: *ops, Workers: *workers, Tracer: tracer,
+		FaultRate: *faultR, FaultSeed: *faultS}
 	if *devices > 1 {
 		if *traceIn != "" {
 			log.Fatal("-devices > 1 supports synthetic benchmarks only (no -trace)")
@@ -132,6 +141,12 @@ func main() {
 	}
 	if res.TrimmedPages > 0 {
 		fmt.Printf("trimmed pages        %d\n", res.TrimmedPages)
+	}
+	if res.InjectedFaults > 0 {
+		fmt.Printf("injected faults      %d (%d program, %d erase)\n",
+			res.InjectedFaults, res.ProgramFaults, res.EraseFaults)
+		fmt.Printf("fault recovery       %d read retries, %d unrecoverable reads, %d blocks retired\n",
+			res.ReadRetries, res.UnrecoverableReads, res.RetiredBlocks)
 	}
 }
 

@@ -124,11 +124,13 @@ func (c Config) Validate() error {
 
 // Array drives N per-device simulators on one shared clock.
 type Array struct {
-	cfg   Config
-	devs  []*sim.Simulator
-	ext   [][]extent // per-device split scratch, reused across requests
-	token int        // next device the rotation token visits
-	tr    *telemetry.Tracer
+	cfg      Config
+	devs     []*sim.Simulator
+	ext      [][]extent // per-device split scratch, reused across requests
+	token    int        // next device the rotation token visits
+	tr       *telemetry.Tracer
+	degraded []error // non-nil once the member failed a device operation
+	failed   int64   // array requests failed fast against degraded members
 
 	perDevPages int64 // usable pages per device, stripe-aligned
 	userPages   int64 // array logical capacity
@@ -185,6 +187,7 @@ func New(cfg Config, factory sim.PolicyFactory) (*Array, error) {
 		devs:        devs,
 		ext:         make([][]extent, cfg.Devices),
 		tr:          cfg.Device.Tracer,
+		degraded:    make([]error, cfg.Devices),
 		lastFree:    lastFree,
 		burnEMA:     make([]int64, cfg.Devices),
 		perDevPages: perDev,
@@ -286,10 +289,29 @@ func (a *Array) run(reqs []trace.Request, closed bool) (Results, error) {
 	}
 }
 
-// anyDirty reports whether any device's page cache still holds dirty pages.
+// Degraded returns the device failure that degraded member i, or nil while
+// it is healthy.
+func (a *Array) Degraded(i int) error { return a.degraded[i] }
+
+// degrade takes member dev out of service after a device operation failed
+// fatally. The array keeps running: requests striped onto the member fail
+// fast, the other members keep serving theirs, and the degraded member is
+// skipped by the tick loop and the GC coordinator from here on. Only the
+// first failure per member is recorded.
+func (a *Array) degrade(t time.Duration, dev int, err error) {
+	if a.degraded[dev] != nil {
+		return
+	}
+	a.degraded[dev] = err
+	a.tr.DeviceDegraded(t, dev, err.Error())
+}
+
+// anyDirty reports whether any healthy device's page cache still holds
+// dirty pages. Degraded members are excluded: their caches can never drain,
+// and waiting on them would spin the drain loop forever.
 func (a *Array) anyDirty() bool {
-	for _, d := range a.devs {
-		if d.DirtyPages() > 0 {
+	for i, d := range a.devs {
+		if a.degraded[i] == nil && d.DirtyPages() > 0 {
 			return true
 		}
 	}
@@ -298,12 +320,26 @@ func (a *Array) anyDirty() bool {
 
 // handleRequest splits one array request into per-device segments, services
 // them, and records the array-level completion (the slowest segment).
+//
+// A request touching a degraded member fails fast BEFORE any segment is
+// issued — no partial stripe write lands on the survivors — and is counted
+// in FailedRequests instead of the served-request and latency statistics.
+// A segment that fails on a healthy member degrades that member (the error
+// is a device failure: trace bounds are validated at the array level) and
+// fails the request the same way; subsequent requests on the survivors
+// keep being served.
 func (a *Array) handleRequest(r trace.Request) error {
 	if r.End() > a.userPages {
 		return fmt.Errorf("%w: lpn %d..%d, array capacity %d",
 			sim.ErrTraceBeyondCapacity, r.LPN, r.End(), a.userPages)
 	}
 	a.split(r.LPN, r.Pages)
+	for i, exts := range a.ext {
+		if len(exts) > 0 && a.degraded[i] != nil {
+			a.failed++
+			return nil
+		}
+	}
 	var completion time.Duration
 	for i, exts := range a.ext {
 		for _, e := range exts {
@@ -311,7 +347,9 @@ func (a *Array) handleRequest(r trace.Request) error {
 				Time: r.Time, Kind: r.Kind, LPN: e.lpn, Pages: e.pages,
 			})
 			if err != nil {
-				return fmt.Errorf("array: device %d: %w", i, err)
+				a.degrade(r.Time, i, err)
+				a.failed++
+				return nil
 			}
 			if c > completion {
 				completion = c
@@ -355,14 +393,23 @@ func (a *Array) split(lpn int64, pages int) {
 // every device flushes, every device's policy decides, the coordinator
 // adjusts the decisions, every device applies — so the coordinator sees
 // all demands before any collection is committed.
+// Degraded members are skipped throughout — their caches cannot flush and
+// their policies must not be consulted — and a flush failure on a healthy
+// member degrades it rather than aborting the array run.
 func (a *Array) tick(t time.Duration) error {
 	for i, d := range a.devs {
+		if a.degraded[i] != nil {
+			continue
+		}
 		if err := d.TickFlush(t); err != nil {
-			return fmt.Errorf("array: device %d: %w", i, err)
+			a.degrade(t, i, err)
 		}
 	}
 	decs := make([]core.Decision, len(a.devs))
 	for i, d := range a.devs {
+		if a.degraded[i] != nil {
+			continue
+		}
 		decs[i] = d.TickDecide(t)
 	}
 	if a.cfg.Mode == Coordinated && len(a.devs) > 1 {
@@ -370,6 +417,9 @@ func (a *Array) tick(t time.Duration) error {
 	}
 	a.intervalReqs = 0
 	for i, d := range a.devs {
+		if a.degraded[i] != nil {
+			continue
+		}
 		d.TickApply(t, decs[i])
 	}
 	return nil
@@ -403,10 +453,15 @@ func (a *Array) coordinate(t time.Duration, decs []core.Decision) {
 	k := a.cfg.MaxConcurrentGC
 	busy := a.intervalReqs > 0
 
+	healthy := 0
 	free := make([]int64, n)
 	var freeTotal, demandTotal int64
 	var bwTotal, bgcMean float64
 	for i, d := range a.devs {
+		if a.degraded[i] != nil {
+			continue
+		}
+		healthy++
 		free[i] = d.FTL().WritableBytes()
 		freeTotal += free[i]
 		demand := decs[i].PredictedBytes
@@ -419,7 +474,10 @@ func (a *Array) coordinate(t time.Duration, decs []core.Decision) {
 		bwTotal += d.FTL().WriteBandwidth()
 		bgcMean += d.FTL().GCBandwidth()
 	}
-	bgcMean /= float64(n)
+	if healthy == 0 {
+		return
+	}
+	bgcMean /= float64(healthy)
 
 	// Track how much free space each device burns per busy interval: the
 	// predictor's horizon average understates the instantaneous burst rate,
@@ -428,6 +486,9 @@ func (a *Array) coordinate(t time.Duration, decs []core.Decision) {
 	// averaging estimate gets diluted by the trickle intervals at burst
 	// edges and then under-protects against the next full-rate interval.
 	for i := range free {
+		if a.degraded[i] != nil {
+			continue
+		}
 		a.burnEMA[i] -= a.burnEMA[i] / 8
 		if burn := a.lastFree[i] - free[i]; a.lastFree[i] >= 0 && burn > a.burnEMA[i] {
 			a.burnEMA[i] = burn
@@ -457,6 +518,9 @@ func (a *Array) coordinate(t time.Duration, decs []core.Decision) {
 	advanceTo := -1
 	for j := 0; j < n; j++ {
 		i := (a.token + j) % n
+		if a.degraded[i] != nil {
+			continue
+		}
 		ask := decs[i].ReclaimBytes
 		need := int64(float64(decs[i].PredictedBytes) / nwb)
 		if a.burnEMA[i] > need {

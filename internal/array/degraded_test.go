@@ -1,0 +1,127 @@
+package array
+
+import (
+	"testing"
+	"time"
+
+	"jitgc/internal/nand"
+	"jitgc/internal/telemetry"
+	"jitgc/internal/trace"
+)
+
+// TestDegradedMemberSurvivors kills one member of a two-device array
+// mid-run with a raw (fatal — no recovery configured) program-fault
+// injector and checks the degraded-mode contract: the run completes,
+// requests striped onto the dead member fail fast without touching the
+// survivor, the survivor keeps serving its own requests, and the merged
+// results report the degradation.
+func TestDegradedMemberSurvivors(t *testing.T) {
+	ring, err := telemetry.NewRingSink(1 << 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := tinyDevice()
+	dev.Tracer = telemetry.New(ring)
+	cfg := Config{Devices: 2, StripePages: 8, Device: dev}
+	a := newArray(t, cfg)
+
+	// Member 1 fails every program from the 40th on: it dies during the
+	// mixed phase and stays dead.
+	fm := nand.NewFaultModel(nand.FaultConfig{Seed: 1})
+	a.Device(1).FTL().Device().SetFaultInjector(fm)
+	fm.FailFrom(nand.OpProgram, 40)
+
+	// Phase 1 stripes direct writes across both members (odd stripes land
+	// on member 1); phase 2 is confined to even stripes, i.e. member 0.
+	span := a.UserPages()
+	var reqs []trace.Request
+	for i := 0; i < 40; i++ {
+		reqs = append(reqs, trace.Request{
+			Time: time.Millisecond, Kind: trace.DirectWrite,
+			LPN: (int64(i) * 8) % (span - 8), Pages: 8,
+		})
+	}
+	const survivorReqs = 60
+	for i := 0; i < survivorReqs; i++ {
+		reqs = append(reqs, trace.Request{
+			Time: time.Millisecond, Kind: trace.DirectWrite,
+			LPN: int64(2*(i%20)) * 8, Pages: 8,
+		})
+	}
+	res, err := a.RunClosedLoop(reqs)
+	if err != nil {
+		t.Fatalf("RunClosedLoop with degraded member: %v", err)
+	}
+
+	if len(res.Degraded) != 1 || res.Degraded[0] != 1 {
+		t.Fatalf("Degraded = %v, want [1]", res.Degraded)
+	}
+	if a.Degraded(0) != nil || a.Degraded(1) == nil {
+		t.Errorf("Degraded accessors: dev0 %v, dev1 %v", a.Degraded(0), a.Degraded(1))
+	}
+	if res.FailedRequests == 0 {
+		t.Error("no requests failed fast against the degraded member")
+	}
+	if got := res.Array.Requests + res.FailedRequests; got != int64(len(reqs)) {
+		t.Errorf("served %d + failed %d = %d requests, want %d",
+			res.Array.Requests, res.FailedRequests, got, len(reqs))
+	}
+	// Every phase-2 request avoids member 1 entirely, so the survivor must
+	// have served all of them after the degradation.
+	if res.Array.Requests < survivorReqs {
+		t.Errorf("served %d requests, want at least the %d survivor-only ones",
+			res.Array.Requests, survivorReqs)
+	}
+	if d0, d1 := res.PerDevice[0].HostPrograms, res.PerDevice[1].HostPrograms; d0 <= d1 {
+		t.Errorf("survivor served %d programs vs degraded member's %d", d0, d1)
+	}
+
+	degradedEvents := 0
+	for _, ev := range ring.Events() {
+		if ev.Type == telemetry.EvDeviceDegraded {
+			degradedEvents++
+			if ev.Dev != 1 {
+				t.Errorf("device_degraded for dev %d, want 1", ev.Dev)
+			}
+			if ev.Reason == "" {
+				t.Error("device_degraded without a reason")
+			}
+		}
+	}
+	if degradedEvents != 1 {
+		t.Errorf("%d device_degraded events, want exactly 1", degradedEvents)
+	}
+}
+
+// TestDegradedTickKeepsTicking degrades a member through the write-back
+// path (buffered writes, flush fails at the tick) and checks the drain
+// loop terminates: the dead member's cache can never drain, and a run
+// would previously spin forever waiting on it.
+func TestDegradedTickKeepsTicking(t *testing.T) {
+	dev := tinyDevice()
+	cfg := Config{Devices: 2, StripePages: 8, Device: dev}
+	a := newArray(t, cfg)
+
+	fm := nand.NewFaultModel(nand.FaultConfig{Seed: 1})
+	a.Device(1).FTL().Device().SetFaultInjector(fm)
+	fm.FailFrom(nand.OpProgram, 0) // every program on member 1 fails
+
+	var reqs []trace.Request
+	for i := 0; i < 40; i++ {
+		reqs = append(reqs, trace.Request{
+			Time: time.Millisecond, Kind: trace.BufferedWrite,
+			LPN: (int64(i) * 8) % (a.UserPages() - 8), Pages: 8,
+		})
+	}
+	res, err := a.RunClosedLoop(reqs)
+	if err != nil {
+		t.Fatalf("RunClosedLoop: %v", err)
+	}
+	if len(res.Degraded) != 1 || res.Degraded[0] != 1 {
+		t.Fatalf("Degraded = %v, want [1]", res.Degraded)
+	}
+	// The survivor's cache must have drained for the run to return.
+	if dirty := a.Device(0).DirtyPages(); dirty != 0 {
+		t.Errorf("survivor still holds %d dirty pages", dirty)
+	}
+}

@@ -37,6 +37,15 @@ type Results struct {
 	// ideal 1/N, so 1.0 on every device means perfectly balanced load.
 	UtilMin, UtilMax float64
 
+	// Degraded lists the members that failed a device operation mid-run
+	// and were taken out of service (empty for a healthy run), and
+	// FailedRequests counts the array requests failed fast because they
+	// striped onto a degraded member. Failed requests are excluded from
+	// Array.Requests and every latency statistic: they never reached a
+	// device, so timing them would dilute the served-request tail.
+	Degraded       []int
+	FailedRequests int64
+
 	// GCGranted, GCDenied and GCBoosted count the coordinator's token
 	// decisions (all zero in independent mode): grants include critical
 	// bypasses, denials are mid-burst deferrals to the next inter-burst
@@ -67,6 +76,13 @@ func (a *Array) results() Results {
 		GCGranted:   a.granted,
 		GCDenied:    a.denied,
 		GCBoosted:   a.boosted,
+
+		FailedRequests: a.failed,
+	}
+	for i, err := range a.degraded {
+		if err != nil {
+			res.Degraded = append(res.Degraded, i)
+		}
 	}
 
 	agg := metrics.Results{
@@ -96,6 +112,12 @@ func (a *Array) results() Results {
 		agg.CacheReadHits += r.CacheReadHits
 		agg.BufferedPages += r.BufferedPages
 		agg.DirectPages += r.DirectPages
+		agg.InjectedFaults += r.InjectedFaults
+		agg.ProgramFaults += r.ProgramFaults
+		agg.EraseFaults += r.EraseFaults
+		agg.ReadRetries += r.ReadRetries
+		agg.UnrecoverableReads += r.UnrecoverableReads
+		agg.RetiredBlocks += r.RetiredBlocks
 		st := d.FTL().Stats()
 		selections += st.VictimSelections
 		filtered += st.FilteredSelections

@@ -17,7 +17,17 @@ import (
 //   - every mapped page's stored payload token carries the logical page
 //     number it is mapped from (no aliasing or stale copies),
 //   - the free pool holds distinct in-range blocks, none of them an active
-//     block, and every pooled block is fully erased.
+//     block, and every pooled block is fully erased,
+//   - no retired block is in the free pool or serving as an active block,
+//     and the recovery bookkeeping is sane: consecutive-program-failure
+//     counters stay below the retirement threshold (reaching it retires
+//     the block and resets the counter) and are zero for pooled blocks.
+//
+// The retirement invariants are what "the map stays consistent across
+// recovered faults" means operationally: a recovered program, erase or
+// read failure may shrink the device or drop a lost page, but must never
+// leave a retired block allocatable or a mapping pointing into freed
+// space.
 //
 // The check is read-only (it inspects the array via PeekPage, which touches
 // no counters) and O(total pages); it exists for tests and property sweeps,
@@ -104,6 +114,27 @@ func (f *FTL) CheckConsistency() error {
 		if f.dev.WritePtr(b) != 0 || f.dev.ValidCount(b) != 0 {
 			return fmt.Errorf("ftl: pooled block %d not erased (ptr %d, valid %d)",
 				b, f.dev.WritePtr(b), f.dev.ValidCount(b))
+		}
+		if f.dev.Retired(b) {
+			return fmt.Errorf("ftl: retired block %d is in the free pool", b)
+		}
+		if f.progFails[b] != 0 {
+			return fmt.Errorf("ftl: pooled block %d carries %d program failures", b, f.progFails[b])
+		}
+	}
+
+	// Retirement and recovery bookkeeping.
+	for _, active := range []int{f.hostActive, f.gcActive} {
+		if active >= 0 && f.dev.Retired(active) {
+			return fmt.Errorf("ftl: active block %d is retired", active)
+		}
+	}
+	if f.recoveryOn {
+		for b := 0; b < geo.TotalBlocks(); b++ {
+			if f.progFails[b] >= f.recovery.ProgramRetireThreshold {
+				return fmt.Errorf("ftl: block %d at %d consecutive program failures, threshold %d",
+					b, f.progFails[b], f.recovery.ProgramRetireThreshold)
+			}
 		}
 	}
 

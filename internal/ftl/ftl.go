@@ -48,6 +48,16 @@ type Config struct {
 	// can no longer serve writes. 0 means unlimited (the default for
 	// performance experiments; lifetime experiments set it).
 	EnduranceLimit int64
+	// Fault configures seeded NAND fault injection. The zero value (no
+	// rates) injects nothing; setting any rate builds a per-FTL
+	// nand.FaultModel and switches the recovery policies on.
+	Fault nand.FaultConfig
+	// Recovery parameterizes the FTL's fault-recovery policies (read
+	// retries, program-failure page skipping, block retirement). Recovery
+	// is active when Fault is enabled or Recovery.Enabled is set; raw
+	// injectors installed via Device().SetFaultInjector stay fatal, which
+	// is what error-propagation tests rely on.
+	Recovery RecoveryConfig
 }
 
 // DefaultConfig returns a configuration with the paper's 7% OP ratio over
@@ -80,6 +90,12 @@ func (c Config) Validate() error {
 	if c.WearThreshold < 0 {
 		return fmt.Errorf("ftl: negative wear threshold %d", c.WearThreshold)
 	}
+	if err := c.Fault.Validate(); err != nil {
+		return err
+	}
+	if err := c.Recovery.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -99,9 +115,15 @@ type Stats struct {
 	Trims int64
 	// FGCInvocations counts foreground GC episodes (a host write stalled).
 	FGCInvocations int64
-	// BGCCollections counts victim blocks collected in background.
+	// BGCCollections counts victim blocks collected in background,
+	// including collections that freed no space because the victim retired
+	// at the erase step (wear-out or an injected erase failure) — the
+	// migration work was still done and still charged to BGC.
 	BGCCollections int64
-	// FGCTime and BGCTime accumulate device time spent in each mode.
+	// FGCTime and BGCTime accumulate device time spent in each mode. Both
+	// include the valid-page migration time of collections whose victim
+	// retired instead of returning to the free pool; dropping that time
+	// would under-report GC overhead exactly when the device is dying.
 	FGCTime time.Duration
 	BGCTime time.Duration
 	// VictimSelections counts GC victim choices; FilteredSelections counts
@@ -109,6 +131,22 @@ type Stats struct {
 	// Table 3).
 	VictimSelections   int64
 	FilteredSelections int64
+	// ProgramFaults and EraseFaults count injected NAND failures absorbed
+	// by the recovery policies (a program retried on a fresh page, an
+	// erase answered by retiring the victim).
+	ProgramFaults int64
+	EraseFaults   int64
+	// ReadRetries counts re-read attempts performed by read recovery;
+	// UnrecoverableReads counts read episodes that exhausted the retry
+	// budget, losing the page (its mapping is dropped).
+	ReadRetries        int64
+	UnrecoverableReads int64
+	// SkippedPages counts pages consumed unprogrammed after program
+	// failures (the sequential-program constraint forbids leaving them
+	// behind); RetiredByFault counts blocks the recovery policies took out
+	// of service, as distinct from wear-out retirement.
+	SkippedPages   int64
+	RetiredByFault int64
 }
 
 // WAF returns the write amplification factor: total NAND page programs per
@@ -142,6 +180,11 @@ type FTL struct {
 	stats           Stats
 	lastWLSelection int64  // selection count at the last wear-leveling pick
 	writeSeq        uint64 // monotone version counter for payload tokens
+
+	fault      *nand.FaultModel // owned injector, nil unless configured
+	recovery   RecoveryConfig   // defaults applied
+	recoveryOn bool             // absorb ErrInjected instead of propagating
+	progFails  []int            // consecutive program failures per block
 
 	tr *telemetry.Tracer // nil = tracing disabled
 }
@@ -191,6 +234,13 @@ func New(cfg Config) (*FTL, error) {
 		lastInvalidate: make([]time.Duration, geo.TotalBlocks()),
 		sip:            make(map[int64]struct{}),
 		sipPerBlock:    make([]int, geo.TotalBlocks()),
+		progFails:      make([]int, geo.TotalBlocks()),
+		recovery:       cfg.Recovery.withDefaults(),
+		recoveryOn:     cfg.Recovery.Enabled || cfg.Fault.Enabled(),
+	}
+	if f.recoveryOn {
+		f.fault = nand.NewFaultModel(cfg.Fault)
+		dev.SetFaultInjector(f.fault)
 	}
 	for i := range f.l2p {
 		f.l2p[i] = unmapped
@@ -294,8 +344,15 @@ func (f *FTL) Read(lpn int64) (time.Duration, error) {
 		// array; charge only transfer time.
 		return f.cfg.Timing.Transfer, nil
 	}
-	tok, d, err := f.dev.ReadPage(nand.AddrOfPPN(ppn, f.cfg.Geometry.PagesPerBlock))
+	tok, d, err := f.readRecovered(nand.AddrOfPPN(ppn, f.cfg.Geometry.PagesPerBlock), lpn)
 	if err != nil {
+		if f.recoveryOn && errors.Is(err, nand.ErrInjected) {
+			// Unrecoverable read: the page is lost. Drop the mapping so the
+			// map stays consistent and later reads take the unmapped path,
+			// and complete the request — a lost page must not abort the run.
+			f.dropLostPage(lpn)
+			return d, nil
+		}
 		return d, err
 	}
 	if tokenLPN(tok) != lpn {
@@ -318,28 +375,37 @@ func (f *FTL) Write(lpn int64) (service, fgc time.Duration, err error) {
 		return 0, 0, fmt.Errorf("%w: %d (capacity %d)", ErrBadLPN, lpn, f.userPages)
 	}
 
-	// Foreground GC: reclaim until a host page is allocatable.
-	for !f.canAllocateHostPage() {
-		d, cerr := f.collectOnce(true)
-		if cerr != nil {
-			return 0, fgc, cerr
+	// The sequence counter advances only once the program has succeeded:
+	// a failed program must not leave a gap in the payload-token sequence,
+	// and recovery retries reuse the same token until one lands.
+	seq := f.writeSeq + 1
+	var addr nand.PageAddr
+	for {
+		// Foreground GC: reclaim until a host page is allocatable.
+		for !f.canAllocateHostPage() {
+			d, cerr := f.collectOnce(true)
+			if cerr != nil {
+				return 0, fgc, cerr
+			}
+			fgc += d
 		}
-		fgc += d
+		addr, service, err = f.programRecovered(token(lpn, seq), false)
+		if err == nil {
+			break
+		}
+		if !f.recoveryOn || !errors.Is(err, ErrNoFreeBlocks) {
+			return service, fgc, err
+		}
+		// Recovered program failures skipped the active block's last
+		// writable pages; reclaim in foreground and try again. Progress is
+		// guaranteed: each pass either collects a victim or the collect
+		// itself fails with ErrNoFreeBlocks above.
 	}
 	if fgc > 0 {
 		f.stats.FGCInvocations++
 		f.stats.FGCTime += fgc
 	}
-
-	addr, err := f.allocPage(false)
-	if err != nil {
-		return 0, fgc, err
-	}
-	f.writeSeq++
-	service, err = f.dev.ProgramPage(addr, token(lpn, f.writeSeq))
-	if err != nil {
-		return service, fgc, err
-	}
+	f.writeSeq = seq
 
 	f.invalidateMapping(lpn)
 	ppb := f.cfg.Geometry.PagesPerBlock

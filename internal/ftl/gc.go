@@ -221,10 +221,19 @@ func (f *FTL) collectOnce(foreground bool) (time.Duration, error) {
 		}
 		victim = cands[f.selectVictim(cands, foreground)].Index
 	}
+	traced := f.tr.Enabled()
 	var freeBefore int64
-	if f.tr.Enabled() {
+	if traced {
 		freeBefore = f.FreePages()
 		f.tr.GCStart(f.now, foreground, victim, f.dev.ValidCount(victim), f.sipPerBlock[victim])
+	}
+	// Every exit below must pass through finish exactly once, so trace
+	// streams pair gc_start/gc_end 1:1 even when a migration or erase
+	// fails mid-collection.
+	finish := func(total time.Duration) {
+		if traced {
+			f.tr.GCEnd(f.now, foreground, victim, f.FreePages()-freeBefore, total)
+		}
 	}
 
 	var total time.Duration
@@ -233,42 +242,68 @@ func (f *FTL) collectOnce(foreground bool) (time.Duration, error) {
 		addr := nand.PageAddr{Block: victim, Page: page}
 		st, err := f.dev.PageStateAt(addr)
 		if err != nil {
+			finish(total)
 			return total, err
 		}
 		if st != nand.PageValid {
 			continue
 		}
 		d, err := f.migratePage(addr)
+		total += d
 		if err != nil {
+			finish(total)
 			return total, err
 		}
-		total += d
 	}
 
 	d, err := f.dev.EraseBlock(victim)
 	if err != nil {
-		if errors.Is(err, nand.ErrWornOut) {
+		switch {
+		case errors.Is(err, nand.ErrWornOut):
 			// The block retired at its erase limit: its valid data was
 			// already migrated, so it simply drops out of circulation and
-			// the device shrinks. Collection achieved no free space.
-			f.tr.GCEnd(f.now, foreground, victim, 0, total)
+			// the device shrinks. Collection achieved no free space, but
+			// the migration work was real — account it.
+			f.accountCollection(foreground, total)
+			finish(total)
+			return total, nil
+		case f.recoveryOn && errors.Is(err, nand.ErrInjected):
+			// Erase failure: retire the victim instead of returning it to
+			// the free pool. Like wear-out, the valid data was already
+			// migrated and the device just shrinks.
+			f.stats.EraseFaults++
+			f.tr.FaultInjected(f.now, "erase", victim, 0, -1)
+			f.retireBlock(victim, "erase")
+			f.accountCollection(foreground, total)
+			finish(total)
 			return total, nil
 		}
+		finish(total)
 		return total, err
 	}
 	total += d
 	f.stats.Erases++
 	f.freeBlocks = append(f.freeBlocks, victim)
+	f.progFails[victim] = 0
 
+	f.accountCollection(foreground, total)
+	if traced {
+		f.tr.Erase(f.now, victim, f.dev.EraseCount(victim), d)
+	}
+	finish(total)
+	return total, nil
+}
+
+// accountCollection attributes one victim collection's device time to the
+// background counters (foreground episodes are accounted per host write in
+// Write, which sums collectOnce durations into FGCTime). Collections whose
+// victim retired instead of freeing space are charged like any other: the
+// migration work happened.
+func (f *FTL) accountCollection(foreground bool, total time.Duration) {
 	if !foreground {
 		f.stats.BGCCollections++
 		f.stats.BGCTime += total
 	}
-	if f.tr.Enabled() {
-		f.tr.Erase(f.now, victim, f.dev.EraseCount(victim), d)
-		f.tr.GCEnd(f.now, foreground, victim, f.FreePages()-freeBefore, total)
-	}
-	return total, nil
 }
 
 // wlCooldown bounds how often static wear leveling may hijack victim
@@ -341,31 +376,35 @@ func (f *FTL) selectVictim(cands []BlockInfo, foreground bool) int {
 }
 
 // migratePage copies one valid page (payload included) to the GC
-// destination stream.
+// destination stream. With recovery on, an unrecoverable read of the
+// source page drops its mapping (the data is gone; copying garbage
+// forward would be worse) and the collection continues, while program
+// failures are absorbed by programRecovered.
 func (f *FTL) migratePage(src nand.PageAddr) (time.Duration, error) {
-	var total time.Duration
-	payload, d, err := f.dev.ReadPage(src)
-	if err != nil {
-		return total, err
-	}
-	total += d
-
-	dst, err := f.allocPage(true)
-	if err != nil {
-		return total, err
-	}
-	d, err = f.dev.ProgramPage(dst, payload)
-	if err != nil {
-		return total, err
-	}
-	total += d
-
 	ppb := f.cfg.Geometry.PagesPerBlock
 	srcPPN := src.PPN(ppb)
 	lpn := f.p2l[srcPPN]
 	if lpn == unmapped {
 		panic(fmt.Sprintf("ftl: migrating valid page %v with no reverse mapping", src))
 	}
+
+	var total time.Duration
+	payload, d, err := f.readRecovered(src, lpn)
+	total += d
+	if err != nil {
+		if f.recoveryOn && errors.Is(err, nand.ErrInjected) {
+			f.dropLostPage(lpn)
+			return total, nil
+		}
+		return total, err
+	}
+
+	dst, d, err := f.programRecovered(payload, true)
+	total += d
+	if err != nil {
+		return total, err
+	}
+
 	if err := f.dev.InvalidatePage(src); err != nil {
 		return total, err
 	}
@@ -424,9 +463,13 @@ func (f *FTL) ReclaimBackground(targetPages int64, maxTime time.Duration) (Recla
 		before := f.FreePages()
 		d, err := f.collectOnce(false)
 		if err != nil {
-			// Out of victims: report what was achieved.
 			res.FreedPages = f.FreePages() - start
-			return res, nil
+			if errors.Is(err, ErrNoFreeBlocks) {
+				// Out of victims: report what was achieved.
+				return res, nil
+			}
+			// A real device error must propagate, not masquerade as "done".
+			return res, err
 		}
 		res.Elapsed += d
 		res.CollectedBlocks++

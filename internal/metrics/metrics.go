@@ -78,6 +78,20 @@ type Results struct {
 	// BufferedPages and DirectPages count host write pages by type as they
 	// reached the device (flushes vs direct), for Table 1 style breakdowns.
 	BufferedPages, DirectPages int64
+
+	// Fault-injection outcomes, all zero when no fault model is configured.
+	// InjectedFaults counts NAND operations failed by the fault model;
+	// ProgramFaults and EraseFaults split the write-path share by op.
+	// ReadRetries counts re-read attempts that recovery spent on failed
+	// page reads, UnrecoverableReads the pages lost after the retry budget,
+	// and RetiredBlocks the blocks taken out of service by the recovery
+	// policies (erase failures and repeated program failures).
+	InjectedFaults     int64
+	ProgramFaults      int64
+	EraseFaults        int64
+	ReadRetries        int64
+	UnrecoverableReads int64
+	RetiredBlocks      int64
 }
 
 // BufferedRatio returns the buffered share of device writes in [0,1].

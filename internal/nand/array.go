@@ -243,6 +243,42 @@ func (a *Array) ProgramPage(addr PageAddr, data uint64) (time.Duration, error) {
 	return d, nil
 }
 
+// SkipPage consumes the next programmable page of a block without writing
+// it: the page goes straight to PageInvalid and the write pointer advances.
+// This is how an FTL models a page whose program operation failed — the
+// page can never be trusted again until the block is erased, but the
+// sequential-program constraint means it cannot simply be left behind.
+// Skipping is a metadata operation and consumes no device time.
+func (a *Array) SkipPage(addr PageAddr) error {
+	if err := a.checkAddr(addr); err != nil {
+		return err
+	}
+	b := &a.blocks[addr.Block]
+	if b.retired {
+		return fmt.Errorf("%w: skip on retired block %d", ErrWornOut, addr.Block)
+	}
+	if b.pages[addr.Page] != PageFree {
+		return fmt.Errorf("%w: block %d page %d is %v", ErrPageNotFree, addr.Block, addr.Page, b.pages[addr.Page])
+	}
+	if addr.Page != b.writePtr {
+		return fmt.Errorf("%w: block %d expects page %d, got %d", ErrOutOfOrderProgram, addr.Block, b.writePtr, addr.Page)
+	}
+	b.pages[addr.Page] = PageInvalid
+	b.writePtr++
+	return nil
+}
+
+// RetireBlock force-retires a block, as a recovery policy does after
+// repeated program failures or a failed erase. Valid pages stay readable,
+// but the block can never be programmed or erased again.
+func (a *Array) RetireBlock(blockIdx int) error {
+	if blockIdx < 0 || blockIdx >= len(a.blocks) {
+		return fmt.Errorf("%w: block %d", ErrBadAddress, blockIdx)
+	}
+	a.blocks[blockIdx].retired = true
+	return nil
+}
+
 // InvalidatePage marks a previously valid page invalid (an out-of-place
 // update superseded it). Invalidation is a metadata operation and consumes
 // no device time.

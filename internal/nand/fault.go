@@ -1,0 +1,133 @@
+package nand
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// FaultConfig parameterizes a seeded FaultModel. The zero value disables
+// injection entirely (Enabled reports false), which keeps fault modeling
+// strictly opt-in: experiment grids embed a FaultConfig by value in their
+// declarative configs and every cell builds its own FaultModel, so runs
+// stay deterministic for any worker count.
+type FaultConfig struct {
+	// Seed seeds the model's random stream. 0 is replaced by 1 so that a
+	// rate-only config is still deterministic.
+	Seed int64
+	// ReadRate, ProgramRate and EraseRate are independent per-operation
+	// failure probabilities in [0, 1]. An operation kind with rate 0 never
+	// fails from the random stream (one-shot faults still apply).
+	ReadRate    float64
+	ProgramRate float64
+	EraseRate   float64
+}
+
+// Enabled reports whether any failure rate is set.
+func (c FaultConfig) Enabled() bool {
+	return c.ReadRate > 0 || c.ProgramRate > 0 || c.EraseRate > 0
+}
+
+// Validate checks that every rate is a probability.
+func (c FaultConfig) Validate() error {
+	for _, r := range []struct {
+		name string
+		rate float64
+	}{
+		{"read", c.ReadRate}, {"program", c.ProgramRate}, {"erase", c.EraseRate},
+	} {
+		if r.rate < 0 || r.rate > 1 || r.rate != r.rate {
+			return fmt.Errorf("nand: %s fault rate %v outside [0, 1]", r.name, r.rate)
+		}
+	}
+	return nil
+}
+
+// FaultModel is a seeded, deterministic FaultInjector: each read, program
+// and erase fails independently with its configured rate, and tests can arm
+// targeted one-shot faults on top (FailNext) or kill an operation kind
+// permanently from some future point (FailFrom). Failed operations change
+// no device state and consume no device time — the cost of a failure is
+// whatever recovery the FTL performs.
+//
+// Like Array itself, a FaultModel is not safe for concurrent use; every
+// simulated device owns its own model.
+type FaultModel struct {
+	rates    [3]float64
+	rng      *rand.Rand
+	oneShot  [3]int64 // fail the next N ops of each kind
+	failFrom [3]int64 // fail every op of the kind from this count on; -1 = never
+	seen     [3]int64 // ops of each kind observed
+	injected [3]int64 // failures injected per kind
+}
+
+// NewFaultModel builds a model from cfg. The config should be validated
+// first; rates are used as given.
+func NewFaultModel(cfg FaultConfig) *FaultModel {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	m := &FaultModel{
+		rates: [3]float64{OpRead: cfg.ReadRate, OpProgram: cfg.ProgramRate, OpErase: cfg.EraseRate},
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+	for i := range m.failFrom {
+		m.failFrom[i] = -1
+	}
+	return m
+}
+
+// ShouldFail implements FaultInjector. The decision depends only on the
+// seed and the sequence of operations observed so far, never on wall time.
+func (m *FaultModel) ShouldFail(op Op, addr PageAddr) bool {
+	_ = addr
+	if int(op) >= len(m.rates) {
+		return false
+	}
+	n := m.seen[op]
+	m.seen[op]++
+	switch {
+	case m.failFrom[op] >= 0 && n >= m.failFrom[op]:
+	case m.oneShot[op] > 0:
+		m.oneShot[op]--
+	case m.rates[op] > 0 && m.rng.Float64() < m.rates[op]:
+	default:
+		return false
+	}
+	m.injected[op]++
+	return true
+}
+
+// FailNext arms a targeted fault: the next n operations of the given kind
+// fail regardless of the configured rate.
+func (m *FaultModel) FailNext(op Op, n int) {
+	if int(op) < len(m.oneShot) && n > 0 {
+		m.oneShot[op] += int64(n)
+	}
+}
+
+// FailFrom kills an operation kind: counting from now, the n-th and every
+// subsequent operation of that kind fails (n=0 means immediately). It is
+// the switch experiments use to make a device die mid-run.
+func (m *FaultModel) FailFrom(op Op, n int64) {
+	if int(op) < len(m.failFrom) && n >= 0 {
+		m.failFrom[op] = m.seen[op] + n
+	}
+}
+
+// Injected returns the number of failures injected for one operation kind.
+func (m *FaultModel) Injected(op Op) int64 {
+	if int(op) >= len(m.injected) {
+		return 0
+	}
+	return m.injected[op]
+}
+
+// InjectedTotal returns the number of failures injected across all kinds.
+func (m *FaultModel) InjectedTotal() int64 {
+	var t int64
+	for _, n := range m.injected {
+		t += n
+	}
+	return t
+}

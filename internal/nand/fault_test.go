@@ -1,0 +1,211 @@
+package nand
+
+import (
+	"errors"
+	"testing"
+)
+
+func faultArray(t *testing.T) *Array {
+	t.Helper()
+	geo := Geometry{Channels: 1, ChipsPerChannel: 1, BlocksPerChip: 4, PagesPerBlock: 4, PageSize: 4096}
+	a, err := NewArray(geo, DefaultTimingMLC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestFaultConfigValidate(t *testing.T) {
+	if err := (FaultConfig{}).Validate(); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+	if (FaultConfig{}).Enabled() {
+		t.Error("zero config reports enabled")
+	}
+	if !(FaultConfig{ProgramRate: 0.1}).Enabled() {
+		t.Error("non-zero rate reports disabled")
+	}
+	for _, bad := range []FaultConfig{
+		{ReadRate: -0.1}, {ProgramRate: 1.5}, {EraseRate: 2},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("config %+v accepted", bad)
+		}
+	}
+}
+
+// TestFaultModelDeterminism: two models with the same seed must make the
+// same decisions over the same operation sequence.
+func TestFaultModelDeterminism(t *testing.T) {
+	cfg := FaultConfig{Seed: 42, ReadRate: 0.3, ProgramRate: 0.2, EraseRate: 0.1}
+	m1, m2 := NewFaultModel(cfg), NewFaultModel(cfg)
+	ops := []Op{OpRead, OpProgram, OpErase}
+	for i := 0; i < 3000; i++ {
+		op := ops[i%len(ops)]
+		if m1.ShouldFail(op, PageAddr{}) != m2.ShouldFail(op, PageAddr{}) {
+			t.Fatalf("models diverged at op %d", i)
+		}
+	}
+	if m1.InjectedTotal() == 0 {
+		t.Error("no faults injected at 10-30%% rates over 3000 ops")
+	}
+	if m1.InjectedTotal() != m2.InjectedTotal() {
+		t.Errorf("injected totals diverged: %d vs %d", m1.InjectedTotal(), m2.InjectedTotal())
+	}
+}
+
+func TestFaultModelRates(t *testing.T) {
+	m := NewFaultModel(FaultConfig{Seed: 7, ProgramRate: 0.5})
+	fails := 0
+	for i := 0; i < 1000; i++ {
+		if m.ShouldFail(OpProgram, PageAddr{}) {
+			fails++
+		}
+		if m.ShouldFail(OpRead, PageAddr{}) {
+			t.Fatal("read failed with zero read rate")
+		}
+	}
+	if fails < 400 || fails > 600 {
+		t.Errorf("%d/1000 failures at rate 0.5", fails)
+	}
+	if got := m.Injected(OpProgram); got != int64(fails) {
+		t.Errorf("Injected(OpProgram) = %d, want %d", got, fails)
+	}
+}
+
+func TestFaultModelFailNext(t *testing.T) {
+	m := NewFaultModel(FaultConfig{Seed: 1})
+	m.FailNext(OpErase, 2)
+	for i := 0; i < 2; i++ {
+		if !m.ShouldFail(OpErase, PageAddr{}) {
+			t.Fatalf("one-shot %d did not fire", i)
+		}
+	}
+	if m.ShouldFail(OpErase, PageAddr{}) {
+		t.Error("one-shot fired more than twice")
+	}
+	if m.ShouldFail(OpProgram, PageAddr{}) {
+		t.Error("one-shot leaked to another op kind")
+	}
+}
+
+func TestFaultModelFailFrom(t *testing.T) {
+	m := NewFaultModel(FaultConfig{Seed: 1})
+	// Observe two programs, then kill programs starting with the third
+	// after those.
+	m.ShouldFail(OpProgram, PageAddr{})
+	m.ShouldFail(OpProgram, PageAddr{})
+	m.FailFrom(OpProgram, 2)
+	for i := 0; i < 2; i++ {
+		if m.ShouldFail(OpProgram, PageAddr{}) {
+			t.Fatalf("program %d failed before the kill point", i)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if !m.ShouldFail(OpProgram, PageAddr{}) {
+			t.Fatalf("program %d succeeded after the kill point", i)
+		}
+	}
+	if m.ShouldFail(OpRead, PageAddr{}) {
+		t.Error("kill switch leaked to reads")
+	}
+}
+
+func TestSkipPage(t *testing.T) {
+	a := faultArray(t)
+	if err := a.SkipPage(PageAddr{Block: 0, Page: 0}); err != nil {
+		t.Fatalf("SkipPage: %v", err)
+	}
+	if st, _ := a.PageStateAt(PageAddr{Block: 0, Page: 0}); st != PageInvalid {
+		t.Errorf("skipped page state = %v, want invalid", st)
+	}
+	if a.WritePtr(0) != 1 {
+		t.Errorf("write pointer = %d, want 1", a.WritePtr(0))
+	}
+	if a.ValidCount(0) != 0 {
+		t.Errorf("valid count = %d after skip", a.ValidCount(0))
+	}
+	// The next program lands on the following page.
+	if _, err := a.ProgramPage(PageAddr{Block: 0, Page: 1}, 99); err != nil {
+		t.Fatalf("program after skip: %v", err)
+	}
+	// Skipping out of order or on a consumed page is rejected.
+	if err := a.SkipPage(PageAddr{Block: 0, Page: 3}); !errors.Is(err, ErrOutOfOrderProgram) {
+		t.Errorf("out-of-order skip: %v", err)
+	}
+	if err := a.SkipPage(PageAddr{Block: 0, Page: 0}); !errors.Is(err, ErrPageNotFree) {
+		t.Errorf("skip on consumed page: %v", err)
+	}
+	if err := a.SkipPage(PageAddr{Block: 9, Page: 0}); !errors.Is(err, ErrBadAddress) {
+		t.Errorf("skip on bad address: %v", err)
+	}
+}
+
+func TestRetireBlock(t *testing.T) {
+	a := faultArray(t)
+	if _, err := a.ProgramPage(PageAddr{Block: 1, Page: 0}, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RetireBlock(1); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Retired(1) || a.RetiredBlocks() != 1 {
+		t.Fatalf("block 1 not retired (retired=%v count=%d)", a.Retired(1), a.RetiredBlocks())
+	}
+	if _, err := a.ProgramPage(PageAddr{Block: 1, Page: 1}, 8); !errors.Is(err, ErrWornOut) {
+		t.Errorf("program on retired block: %v", err)
+	}
+	if _, err := a.EraseBlock(1); !errors.Is(err, ErrWornOut) {
+		t.Errorf("erase on retired block: %v", err)
+	}
+	if err := a.SkipPage(PageAddr{Block: 1, Page: 1}); !errors.Is(err, ErrWornOut) {
+		t.Errorf("skip on retired block: %v", err)
+	}
+	// Valid pages stay readable.
+	if tok, _, err := a.ReadPage(PageAddr{Block: 1, Page: 0}); err != nil || tok != 7 {
+		t.Errorf("read on retired block: tok=%d err=%v", tok, err)
+	}
+	if err := a.RetireBlock(-1); !errors.Is(err, ErrBadAddress) {
+		t.Errorf("retire bad block: %v", err)
+	}
+}
+
+// TestInjectedFailureChangesNoState: a failed operation must leave the
+// array exactly as it was.
+func TestInjectedFailureChangesNoState(t *testing.T) {
+	a := faultArray(t)
+	m := NewFaultModel(FaultConfig{Seed: 1})
+	a.SetFaultInjector(m)
+
+	m.FailNext(OpProgram, 1)
+	addr := PageAddr{Block: 0, Page: 0}
+	if _, err := a.ProgramPage(addr, 1); !errors.Is(err, ErrInjected) {
+		t.Fatalf("program: %v", err)
+	}
+	if st, _ := a.PageStateAt(addr); st != PageFree || a.WritePtr(0) != 0 {
+		t.Fatalf("failed program changed state: %v ptr=%d", st, a.WritePtr(0))
+	}
+	if _, err := a.ProgramPage(addr, 1); err != nil {
+		t.Fatalf("retry after injected failure: %v", err)
+	}
+
+	m.FailNext(OpRead, 1)
+	if _, _, err := a.ReadPage(addr); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read: %v", err)
+	}
+	if tok, _, err := a.ReadPage(addr); err != nil || tok != 1 {
+		t.Fatalf("retry read: tok=%d err=%v", tok, err)
+	}
+
+	m.FailNext(OpErase, 1)
+	if _, err := a.EraseBlock(0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("erase: %v", err)
+	}
+	if a.EraseCount(0) != 0 {
+		t.Fatalf("failed erase bumped erase count")
+	}
+	st := a.Stats()
+	if st.Reads != 1 || st.Programs != 1 || st.Erases != 0 {
+		t.Errorf("failed ops hit the counters: %+v", st)
+	}
+}

@@ -700,5 +700,13 @@ func (s *Simulator) results() metrics.Results {
 	}
 	minE, maxE, _ := s.ftl.Device().WearStats()
 	res.MinErase, res.MaxErase = minE, maxE
+	if fm := s.ftl.FaultModel(); fm != nil {
+		res.InjectedFaults = fm.InjectedTotal()
+		res.ProgramFaults = st.ProgramFaults
+		res.EraseFaults = st.EraseFaults
+		res.ReadRetries = st.ReadRetries
+		res.UnrecoverableReads = st.UnrecoverableReads
+		res.RetiredBlocks = st.RetiredByFault
+	}
 	return res
 }

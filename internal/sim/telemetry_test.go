@@ -72,6 +72,28 @@ func TestTracerEmitsSimulationEvents(t *testing.T) {
 		if len(starts) == 0 || len(starts) != len(ends) {
 			t.Errorf("%d gc_start vs %d gc_end events", len(starts), len(ends))
 		}
+		// Every gc_start must be closed by a gc_end before the next
+		// collection begins: in stream order the balance alternates
+		// 0→1→0 and never goes negative or above one (collections on a
+		// single device cannot nest).
+		open := 0
+		for _, ev := range ring.Events() {
+			switch ev.Type {
+			case telemetry.EvGCStart:
+				open++
+				if open > 1 {
+					t.Fatal("nested gc_start without intervening gc_end")
+				}
+			case telemetry.EvGCEnd:
+				open--
+				if open < 0 {
+					t.Fatal("gc_end without matching gc_start")
+				}
+			}
+		}
+		if open != 0 {
+			t.Errorf("%d gc_start events left unclosed at end of run", open)
+		}
 	}
 	if res.Erases > 0 {
 		if n := int64(len(byType[telemetry.EvErase])); n != res.Erases {

@@ -38,6 +38,20 @@ const (
 	// EvSnapshot is the periodic per-device stats snapshot emitted at every
 	// write-back tick (the streaming form of a timeline point).
 	EvSnapshot EventType = "snapshot"
+	// EvFault is one injected NAND operation failure (Op names the
+	// operation; Victim/Page locate it; LPN is -1 when no logical page is
+	// involved, e.g. an erase).
+	EvFault EventType = "fault_injected"
+	// EvBlockRetired is a block taken out of service by a recovery policy
+	// (Reason "program" or "erase") as opposed to wear-out.
+	EvBlockRetired EventType = "block_retired"
+	// EvReadRetry is the outcome of a read-recovery episode: Attempts
+	// retries were spent and Recovered tells whether the data was read back
+	// or lost (an unrecoverable read).
+	EvReadRetry EventType = "read_retry"
+	// EvDeviceDegraded is an array member whose FTL died: the member stops
+	// serving and its stripe extents fail fast from this point on.
+	EvDeviceDegraded EventType = "device_degraded"
 )
 
 // Event is one trace record. It is a flat union over all event types: only
@@ -76,6 +90,15 @@ type Event struct {
 	// Token fields (EvToken): the coordinator's verdict for this device's
 	// ask in this interval.
 	Action string `json:"action,omitempty"`
+
+	// Fault and recovery fields (EvFault, EvBlockRetired, EvReadRetry,
+	// EvDeviceDegraded). Victim carries the block index and LPN the logical
+	// page where meaningful.
+	Op        string `json:"op,omitempty"`        // failed operation kind
+	Page      int    `json:"page,omitempty"`      // in-block page index
+	Attempts  int    `json:"attempts,omitempty"`  // read retries spent
+	Recovered bool   `json:"recovered,omitempty"` // read retry succeeded
+	Reason    string `json:"reason,omitempty"`    // retirement / degradation cause
 
 	// Snapshot fields (EvSnapshot).
 	DirtyPages     int     `json:"dirty_pages,omitempty"`

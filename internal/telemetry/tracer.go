@@ -91,6 +91,43 @@ func (t *Tracer) Erase(now time.Duration, block int, eraseCount int64, elapsed t
 		Victim: block, EraseCount: eraseCount, Elapsed: elapsed})
 }
 
+// FaultInjected emits one injected NAND operation failure. Pass lpn -1
+// when no logical page is involved (erases, GC-internal programs).
+func (t *Tracer) FaultInjected(now time.Duration, op string, block, page int, lpn int64) {
+	if t == nil {
+		return
+	}
+	t.sink.Emit(Event{Type: EvFault, T: now, Dev: t.dev,
+		Op: op, Victim: block, Page: page, LPN: lpn})
+}
+
+// BlockRetired emits a block retirement by a recovery policy.
+func (t *Tracer) BlockRetired(now time.Duration, block int, reason string, eraseCount int64) {
+	if t == nil {
+		return
+	}
+	t.sink.Emit(Event{Type: EvBlockRetired, T: now, Dev: t.dev,
+		Victim: block, Reason: reason, EraseCount: eraseCount})
+}
+
+// ReadRetry emits the outcome of one read-recovery episode: attempts
+// retries were spent and recovered tells whether the data came back.
+func (t *Tracer) ReadRetry(now time.Duration, block, page int, lpn int64, attempts int, recovered bool) {
+	if t == nil {
+		return
+	}
+	t.sink.Emit(Event{Type: EvReadRetry, T: now, Dev: t.dev,
+		Victim: block, Page: page, LPN: lpn, Attempts: attempts, Recovered: recovered})
+}
+
+// DeviceDegraded emits an array member entering degraded mode.
+func (t *Tracer) DeviceDegraded(now time.Duration, dev int, reason string) {
+	if t == nil {
+		return
+	}
+	t.sink.Emit(Event{Type: EvDeviceDegraded, T: now, Dev: dev, Reason: reason})
+}
+
 // Token emits one array GC-coordination hand-off decision for member dev.
 func (t *Tracer) Token(now time.Duration, dev int, action string, reclaimBytes, freeBytes int64) {
 	if t == nil {

@@ -21,6 +21,7 @@ import (
 	"jitgc/internal/core"
 	"jitgc/internal/ftl"
 	"jitgc/internal/metrics"
+	"jitgc/internal/nand"
 	"jitgc/internal/sim"
 	"jitgc/internal/telemetry"
 	"jitgc/internal/trace"
@@ -135,6 +136,16 @@ type Options struct {
 	// runners share one tracer across cells, so its sink must be
 	// concurrent-safe (telemetry.JSONLSink and RingSink both are).
 	Tracer *telemetry.Tracer
+	// FaultRate, when positive, arms the NAND fault model with this
+	// per-operation failure probability on reads, programs and erases
+	// alike, and switches the FTL's recovery policies on. Each run builds
+	// its own seeded model, so results stay deterministic and worker-count
+	// independent.
+	FaultRate float64
+	// FaultSeed seeds the fault model's RNG (default 1), independent of the
+	// workload Seed so fault placement can be varied against a fixed
+	// request stream.
+	FaultSeed int64
 }
 
 func (o Options) withDefaults() Options {
@@ -181,6 +192,18 @@ func (o Options) simConfig() (sim.Config, int64) {
 	}
 	if o.Tracer != nil {
 		cfg.Tracer = o.Tracer
+	}
+	if o.FaultRate > 0 {
+		seed := o.FaultSeed
+		if seed == 0 {
+			seed = 1
+		}
+		cfg.FTL.Fault = nand.FaultConfig{
+			Seed:        seed,
+			ReadRate:    o.FaultRate,
+			ProgramRate: o.FaultRate,
+			EraseRate:   o.FaultRate,
+		}
 	}
 	return cfg, ws
 }
