@@ -10,9 +10,9 @@
 GO ?= go
 COVERAGE_BASELINE := $(shell cat ci/coverage-baseline.txt)
 
-.PHONY: ci build vet test test-race fuzz-regress fault-regress coverage-gate fuzz bench bench-full
+.PHONY: ci build vet test test-race fuzz-regress fault-regress coverage-gate fuzz bench-run bench bench-gate bench-baseline bench-full
 
-ci: build vet test-race fuzz-regress fault-regress coverage-gate
+ci: build vet test-race fuzz-regress fault-regress coverage-gate bench-gate
 
 build:
 	$(GO) build ./...
@@ -58,14 +58,31 @@ fuzz:
 	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/trace/
 	$(GO) test -fuzz FuzzDecodeMSR -fuzztime 30s ./internal/trace/
 
-# Benchmark smoke run: one iteration of the telemetry-overhead and
-# latency-recorder benchmarks, archived as machine-readable JSON. The paper
-# benchmarks run at full scale via bench-full.
-bench:
+# Benchmark smoke run: one iteration of the telemetry-overhead benchmarks
+# plus the latency-recorder and hot-path (victim selection, steady-state
+# write) microbenchmarks, collected into bench.out. The paper benchmarks
+# run at full scale via bench-full.
+bench-run:
 	$(GO) test -bench='Telemetry|StreamingLatency' -benchmem -benchtime=1x -run '^$$' . | tee bench.out
 	$(GO) test -bench='LogHist|Percentile' -benchmem -benchtime=100x -run '^$$' \
 		./internal/telemetry/ ./internal/metrics/ | tee -a bench.out
-	$(GO) run ./ci/benchjson -in bench.out -out BENCH_pr3.json
+	$(GO) test -bench='VictimSelect|SteadyStateWrite' -benchmem -benchtime=10000x -run '^$$' \
+		./internal/ftl/ | tee -a bench.out
+
+bench: bench-run
+	$(GO) run ./ci/benchjson -in bench.out -out BENCH_pr5.json
+
+# Benchmark regression gate: rerun the smoke benchmarks and compare against
+# the checked-in baseline. Allocation and B/op bands are tight (these are
+# deterministic under seeded workloads); ns/op is a wide catastrophe
+# detector so CI noise does not flake the build. After an intentional
+# performance change, refresh the baseline with `make bench-baseline` and
+# commit ci/bench-baseline.json alongside the change.
+bench-gate: bench-run
+	$(GO) run ./ci/benchjson -gate -baseline ci/bench-baseline.json -in bench.out
+
+bench-baseline: bench-run
+	$(GO) run ./ci/benchjson -gate -baseline ci/bench-baseline.json -update-baseline -in bench.out
 
 bench-full:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -1,10 +1,20 @@
 // Command benchjson converts `go test -bench` text output into a JSON
 // summary, so CI can archive benchmark smoke runs as machine-readable
-// artifacts (make bench → BENCH_pr3.json) without external tooling.
+// artifacts (make bench → BENCH_pr5.json) without external tooling.
+//
+// With -gate it instead compares the run against a checked-in baseline and
+// fails on regression. Allocation counts and bytes/op are near-deterministic
+// here (the simulations are seeded), so their tolerance bands are tight; wall
+// time is noisy on shared CI machines, so its band is a wide catastrophe
+// detector (an O(1) path decaying to O(n) trips it, scheduler jitter does
+// not). A benchmark present in the baseline but missing from the run is a
+// failure — deleting a benchmark must be an explicit baseline update.
 //
 // Usage:
 //
 //	go test -bench=. -benchmem . | go run ./ci/benchjson -out BENCH.json
+//	go run ./ci/benchjson -in bench.out -gate -baseline ci/bench-baseline.json
+//	go run ./ci/benchjson -in bench.out -gate -baseline ci/bench-baseline.json -update-baseline
 package main
 
 import (
@@ -35,6 +45,15 @@ func main() {
 	log.SetPrefix("benchjson: ")
 	in := flag.String("in", "-", "benchmark text output to read (- for stdin)")
 	out := flag.String("out", "-", "JSON file to write (- for stdout)")
+	gate := flag.Bool("gate", false, "compare against -baseline instead of emitting JSON; exit 1 on regression")
+	baseline := flag.String("baseline", "", "baseline JSON file for -gate")
+	update := flag.Bool("update-baseline", false, "with -gate: overwrite the baseline with this run and exit 0")
+	nsRatio := flag.Float64("ns-ratio", 4.0, "gate: fail when ns/op exceeds baseline*ratio+slack")
+	nsSlack := flag.Float64("ns-slack", 200, "gate: absolute ns/op slack added to the ratio band")
+	bRatio := flag.Float64("bytes-ratio", 1.15, "gate: fail when B/op exceeds baseline*ratio+slack")
+	bSlack := flag.Float64("bytes-slack", 512, "gate: absolute B/op slack added to the ratio band")
+	aRatio := flag.Float64("allocs-ratio", 1.10, "gate: fail when allocs/op exceeds baseline*ratio+slack")
+	aSlack := flag.Float64("allocs-slack", 2, "gate: absolute allocs/op slack added to the ratio band")
 	flag.Parse()
 
 	r := io.Reader(os.Stdin)
@@ -55,6 +74,42 @@ func main() {
 		log.Fatal("no benchmark lines found in input")
 	}
 
+	if *gate {
+		if *baseline == "" {
+			log.Fatal("-gate requires -baseline")
+		}
+		if *update {
+			if err := writeJSON(*baseline, results); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: baseline %s updated with %d benchmarks\n", *baseline, len(results))
+			return
+		}
+		base, err := readBaseline(*baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tol := tolerances{
+			ns:     band{*nsRatio, *nsSlack},
+			bytes:  band{*bRatio, *bSlack},
+			allocs: band{*aRatio, *aSlack},
+		}
+		failures, notes := compare(base, results, tol)
+		for _, n := range notes {
+			fmt.Fprintf(os.Stderr, "benchjson: note: %s\n", n)
+		}
+		if len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintf(os.Stderr, "benchjson: REGRESSION: %s\n", f)
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) vs %s (rerun with -update-baseline after an intentional change)\n",
+				len(failures), *baseline)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks within tolerance of %s\n", len(results), *baseline)
+		return
+	}
+
 	b, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -68,6 +123,77 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks written to %s\n", len(results), *out)
+}
+
+// band is one tolerance: the current value may not exceed
+// baseline*Ratio + Slack. The slack term keeps tiny baselines from turning
+// the ratio into a zero-tolerance gate (0 B/op * any ratio is still 0).
+type band struct {
+	Ratio float64
+	Slack float64
+}
+
+func (b band) limit(base float64) float64 { return base*b.Ratio + b.Slack }
+
+// tolerances groups the per-metric bands.
+type tolerances struct {
+	ns, bytes, allocs band
+}
+
+// compare checks every baseline benchmark against the current run. It
+// returns regression messages (gate failures) and informational notes
+// (benchmarks new in this run, which only an -update-baseline records).
+func compare(base, cur []Result, tol tolerances) (failures, notes []string) {
+	curByName := make(map[string]Result, len(cur))
+	for _, r := range cur {
+		curByName[r.Name] = r
+	}
+	baseNames := make(map[string]bool, len(base))
+	for _, b := range base {
+		baseNames[b.Name] = true
+		c, ok := curByName[b.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: in baseline but missing from this run", b.Name))
+			continue
+		}
+		check := func(metric string, baseV, curV float64, band band) {
+			if limit := band.limit(baseV); curV > limit {
+				failures = append(failures, fmt.Sprintf("%s: %s %.6g exceeds %.6g (baseline %.6g × %g + %g)",
+					b.Name, metric, curV, limit, baseV, band.Ratio, band.Slack))
+			}
+		}
+		check("ns/op", b.NsPerOp, c.NsPerOp, tol.ns)
+		check("B/op", b.BytesPerOp, c.BytesPerOp, tol.bytes)
+		check("allocs/op", b.AllocsOp, c.AllocsOp, tol.allocs)
+	}
+	for _, c := range cur {
+		if !baseNames[c.Name] {
+			notes = append(notes, fmt.Sprintf("%s: not in baseline (run -update-baseline to record it)", c.Name))
+		}
+	}
+	return failures, notes
+}
+
+// readBaseline loads a JSON file previously written by this tool.
+func readBaseline(path string) ([]Result, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results []Result
+	if err := json.Unmarshal(b, &results); err != nil {
+		return nil, fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	return results, nil
+}
+
+// writeJSON writes results as indented JSON to path.
+func writeJSON(path string, results []Result) error {
+	b, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 // parse extracts Benchmark lines of the form

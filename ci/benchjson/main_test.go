@@ -1,0 +1,93 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+var testTol = tolerances{
+	ns:     band{4.0, 200},
+	bytes:  band{1.15, 512},
+	allocs: band{1.10, 2},
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	base := []Result{{Name: "BenchmarkWrite", NsPerOp: 100, BytesPerOp: 1000, AllocsOp: 10}}
+	cur := []Result{{Name: "BenchmarkWrite", NsPerOp: 350, BytesPerOp: 1100, AllocsOp: 11}}
+	failures, notes := compare(base, cur, testTol)
+	if len(failures) != 0 {
+		t.Errorf("unexpected failures: %v", failures)
+	}
+	if len(notes) != 0 {
+		t.Errorf("unexpected notes: %v", notes)
+	}
+}
+
+func TestCompareRegressions(t *testing.T) {
+	base := []Result{{Name: "BenchmarkWrite", NsPerOp: 100, BytesPerOp: 1000, AllocsOp: 10}}
+	cases := []struct {
+		name string
+		cur  Result
+		want string
+	}{
+		{"ns blowup", Result{Name: "BenchmarkWrite", NsPerOp: 100*4 + 201, BytesPerOp: 1000, AllocsOp: 10}, "ns/op"},
+		{"bytes blowup", Result{Name: "BenchmarkWrite", NsPerOp: 100, BytesPerOp: 1000*1.15 + 513, AllocsOp: 10}, "B/op"},
+		{"allocs blowup", Result{Name: "BenchmarkWrite", NsPerOp: 100, BytesPerOp: 1000, AllocsOp: 14}, "allocs/op"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			failures, _ := compare(base, []Result{tc.cur}, testTol)
+			if len(failures) != 1 || !strings.Contains(failures[0], tc.want) {
+				t.Errorf("failures = %v, want one mentioning %q", failures, tc.want)
+			}
+		})
+	}
+}
+
+// TestCompareZeroBaseline pins the slack semantics: a zero-alloc baseline
+// still admits the absolute slack, and nothing more.
+func TestCompareZeroBaseline(t *testing.T) {
+	base := []Result{{Name: "BenchmarkZero", NsPerOp: 3, BytesPerOp: 0, AllocsOp: 0}}
+	ok := []Result{{Name: "BenchmarkZero", NsPerOp: 3, BytesPerOp: 512, AllocsOp: 2}}
+	if failures, _ := compare(base, ok, testTol); len(failures) != 0 {
+		t.Errorf("slack not admitted: %v", failures)
+	}
+	bad := []Result{{Name: "BenchmarkZero", NsPerOp: 3, BytesPerOp: 0, AllocsOp: 3}}
+	if failures, _ := compare(base, bad, testTol); len(failures) != 1 {
+		t.Errorf("alloc regression past slack not caught: %v", failures)
+	}
+}
+
+func TestCompareMissingAndNew(t *testing.T) {
+	base := []Result{{Name: "BenchmarkGone", NsPerOp: 1}}
+	cur := []Result{{Name: "BenchmarkNew", NsPerOp: 1}}
+	failures, notes := compare(base, cur, testTol)
+	if len(failures) != 1 || !strings.Contains(failures[0], "missing from this run") {
+		t.Errorf("missing benchmark not failed: %v", failures)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "not in baseline") {
+		t.Errorf("new benchmark not noted: %v", notes)
+	}
+}
+
+func TestParseBenchLine(t *testing.T) {
+	in := strings.NewReader(`goos: linux
+BenchmarkVictimSelect/greedy/blocks=512-8   	89750644	         2.584 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCustom-8	10	5.0 ns/op	2.5 req/s
+`)
+	results, err := parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(results))
+	}
+	r := results[0]
+	if r.Name != "BenchmarkVictimSelect/greedy/blocks=512" || r.NsPerOp != 2.584 ||
+		r.BytesPerOp != 0 || r.AllocsOp != 0 {
+		t.Errorf("first result = %+v", r)
+	}
+	if results[1].Metrics["req/s"] != 2.5 {
+		t.Errorf("custom metric lost: %+v", results[1])
+	}
+}

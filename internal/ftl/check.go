@@ -150,5 +150,105 @@ func (f *FTL) CheckConsistency() error {
 			return fmt.Errorf("ftl: block %d caches %d SIP pages, recount says %d", b, f.sipPerBlock[b], sipCount[b])
 		}
 	}
+
+	return f.checkVictimIndex()
+}
+
+// checkVictimIndex verifies the incremental victim index against ground
+// truth: the free-pool bitmap mirrors the pool, index membership equals
+// the eligibility predicate (in particular, retired and pooled blocks are
+// absent), every bucket holds exactly the members of its valid count with
+// intact links and an exact champion, the size/valid-sum aggregates
+// balance, and the tournament tree's root is the reference greedy victim.
+func (f *FTL) checkVictimIndex() error {
+	geo := f.cfg.Geometry
+	ix := f.idx
+
+	pooled := make(map[int]bool, len(f.freeBlocks))
+	for _, b := range f.freeBlocks {
+		pooled[b] = true
+	}
+	for b := 0; b < geo.TotalBlocks(); b++ {
+		if f.inFreePool[b] != pooled[b] {
+			return fmt.Errorf("ftl: inFreePool[%d]=%v but free pool membership is %v",
+				b, f.inFreePool[b], pooled[b])
+		}
+	}
+
+	refGreedy := -1
+	for b := 0; b < geo.TotalBlocks(); b++ {
+		want := f.indexEligible(b)
+		if ix.contains(b) != want {
+			if ix.contains(b) && f.dev.Retired(b) {
+				return fmt.Errorf("ftl: retired block %d in victim index", b)
+			}
+			return fmt.Errorf("ftl: block %d index membership %v, eligibility %v",
+				b, ix.contains(b), want)
+		}
+		if !want {
+			continue
+		}
+		if got := int(ix.vcnt[b]); got != f.dev.ValidCount(b) {
+			return fmt.Errorf("ftl: index caches %d valid pages for block %d, device says %d",
+				got, b, f.dev.ValidCount(b))
+		}
+		if refGreedy < 0 || f.dev.ValidCount(b) < f.dev.ValidCount(refGreedy) {
+			refGreedy = b
+		}
+	}
+
+	members, sumValid := 0, int64(0)
+	for v := 0; v < geo.PagesPerBlock; v++ {
+		champ := int32(-1)
+		prev := int32(-1)
+		for m := ix.bhead[v]; m >= 0; m = ix.next[m] {
+			b := int(m)
+			if !ix.contains(b) || int(ix.vcnt[b]) != v {
+				return fmt.Errorf("ftl: block %d threaded on bucket %d (member %v, valid %d)",
+					b, v, ix.contains(b), ix.vcnt[b])
+			}
+			if ix.prev[b] != prev {
+				return fmt.Errorf("ftl: bucket %d member %d has prev %d, want %d",
+					v, b, ix.prev[b], prev)
+			}
+			if champ < 0 || ix.older(b, int(champ)) {
+				champ = m
+			}
+			members++
+			sumValid += int64(v)
+			if members > ix.size {
+				return fmt.Errorf("ftl: bucket lists hold more than the %d indexed blocks (cycle?)", ix.size)
+			}
+			prev = m
+		}
+		if ix.champ[v] != champ {
+			return fmt.Errorf("ftl: bucket %d champion %d, recomputed %d", v, ix.champ[v], champ)
+		}
+	}
+	if members != ix.size {
+		return fmt.Errorf("ftl: index size %d but buckets hold %d blocks", ix.size, members)
+	}
+	if sumValid != ix.sumValid {
+		return fmt.Errorf("ftl: index valid-page sum %d, recount says %d", ix.sumValid, sumValid)
+	}
+
+	for b := 0; b < geo.TotalBlocks(); b++ {
+		want := int32(-1)
+		if ix.contains(b) {
+			want = int32(b)
+		}
+		if ix.tree[ix.leafBase+b] != want {
+			return fmt.Errorf("ftl: tournament leaf for block %d holds %d, want %d",
+				b, ix.tree[ix.leafBase+b], want)
+		}
+	}
+	for i := 1; i < ix.leafBase; i++ {
+		if want := ix.better(ix.tree[2*i], ix.tree[2*i+1]); ix.tree[i] != want {
+			return fmt.Errorf("ftl: tournament node %d holds %d, children give %d", i, ix.tree[i], want)
+		}
+	}
+	if got := ix.greedyVictim(); got != refGreedy && !(got < 0 && refGreedy < 0) {
+		return fmt.Errorf("ftl: index greedy victim %d, reference scan says %d", got, refGreedy)
+	}
 	return nil
 }

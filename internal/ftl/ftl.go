@@ -168,9 +168,13 @@ type FTL struct {
 	l2p       []int64 // LPN → PPN, unmapped = -1
 	p2l       []int64 // PPN → LPN, unmapped = -1
 
-	freeBlocks []int // pool of erased blocks
-	hostActive int   // block receiving host writes, -1 if none
-	gcActive   int   // block receiving GC migrations, -1 if none
+	freeBlocks []int  // pool of erased blocks
+	inFreePool []bool // mirrors freeBlocks membership for O(1) lookups
+	hostActive int    // block receiving host writes, -1 if none
+	gcActive   int    // block receiving GC migrations, -1 if none
+
+	idx         *victimIndex // incremental GC victim index (index.go)
+	candScratch []BlockInfo  // reused candidate buffer for custom selectors
 
 	lastInvalidate []time.Duration // per block, for cost-benefit selection
 	sip            map[int64]struct{}
@@ -249,9 +253,12 @@ func New(cfg Config) (*FTL, error) {
 		f.p2l[i] = unmapped
 	}
 	f.freeBlocks = make([]int, geo.TotalBlocks())
+	f.inFreePool = make([]bool, geo.TotalBlocks())
 	for i := range f.freeBlocks {
 		f.freeBlocks[i] = i
+		f.inFreePool[i] = true
 	}
+	f.idx = newVictimIndex(geo.TotalBlocks(), geo.PagesPerBlock, f.lastInvalidate)
 	return f, nil
 }
 
@@ -454,6 +461,10 @@ func (f *FTL) invalidateMapping(lpn int64) {
 			f.sipPerBlock[addr.Block]--
 		}
 	}
+	// The block's valid count (and possibly its eligibility) changed; the
+	// sync must run after lastInvalidate moves so the bucket champion order
+	// sees the new age.
+	f.syncIndex(addr.Block)
 }
 
 // canAllocateHostPage reports whether a host page can be allocated without
@@ -479,7 +490,12 @@ func (f *FTL) allocPage(gc bool) (nand.PageAddr, error) {
 		if err != nil {
 			return nand.PageAddr{}, err
 		}
+		prev := *active
 		*active = blk
+		if prev >= 0 {
+			// The displaced full block just became a GC candidate.
+			f.syncIndex(prev)
+		}
 	}
 	return nand.PageAddr{Block: *active, Page: f.dev.WritePtr(*active)}, nil
 }
@@ -509,5 +525,6 @@ func (f *FTL) takeFreeBlock(gc bool) (int, error) {
 	blk := f.freeBlocks[best]
 	f.freeBlocks[best] = f.freeBlocks[len(f.freeBlocks)-1]
 	f.freeBlocks = f.freeBlocks[:len(f.freeBlocks)-1]
+	f.inFreePool[blk] = false
 	return blk, nil
 }

@@ -149,7 +149,7 @@ func (f *FTL) SetSIPList(lpns []int64) {
 	for i := range f.sipPerBlock {
 		f.sipPerBlock[i] = 0
 	}
-	f.sip = make(map[int64]struct{}, len(lpns))
+	clear(f.sip) // reuse the map: SetSIPList runs once per flush decision
 	ppb := f.cfg.Geometry.PagesPerBlock
 	for _, lpn := range lpns {
 		if lpn < 0 || lpn >= f.userPages {
@@ -168,19 +168,17 @@ func (f *FTL) SetSIPList(lpns []int64) {
 // SIPListSize returns the number of LPNs on the current SIP list.
 func (f *FTL) SIPListSize() int { return len(f.sip) }
 
-// victimCandidates lists blocks eligible for collection: fully written,
-// not free, not an active block. Blocks still being filled are excluded —
-// erasing them would waste unprogrammed pages.
-func (f *FTL) victimCandidates() []BlockInfo {
+// appendCandidates appends the blocks eligible for collection — fully
+// written, not free, not active, not retired, with something to reclaim —
+// to dst in ascending index order and returns it, so steady-state callers
+// can reuse one buffer. The built-in selectors no longer materialize this
+// view (they read the victim index); it remains the candidate interface
+// handed to custom selectors.
+func (f *FTL) appendCandidates(dst []BlockInfo) []BlockInfo {
 	geo := f.cfg.Geometry
 	ppb := geo.PagesPerBlock
-	free := make(map[int]bool, len(f.freeBlocks))
-	for _, b := range f.freeBlocks {
-		free[b] = true
-	}
-	var cands []BlockInfo
 	for b := 0; b < geo.TotalBlocks(); b++ {
-		if free[b] || b == f.hostActive || b == f.gcActive || f.dev.Retired(b) {
+		if f.inFreePool[b] || b == f.hostActive || b == f.gcActive || f.dev.Retired(b) {
 			continue
 		}
 		if f.dev.WritePtr(b) < ppb {
@@ -193,7 +191,7 @@ func (f *FTL) victimCandidates() []BlockInfo {
 		if age < 0 {
 			age = 0
 		}
-		cands = append(cands, BlockInfo{
+		dst = append(dst, BlockInfo{
 			Index:          b,
 			Valid:          f.dev.ValidCount(b),
 			SIPValid:       f.sipPerBlock[b],
@@ -203,7 +201,114 @@ func (f *FTL) victimCandidates() []BlockInfo {
 			PagesPerBlock:  ppb,
 		})
 	}
-	return cands
+	return dst
+}
+
+// pickVictim chooses the next GC victim from the incremental index without
+// allocating, replicating the retired full-scan behaviour exactly: the
+// same victim, the same VictimSelections/FilteredSelections accounting.
+// Custom selectors (anything beyond the three built-ins) still get the
+// materialized candidate slice, built into a reused scratch buffer. ok is
+// false when no block is collectible.
+func (f *FTL) pickVictim(foreground bool) (victim int, ok bool) {
+	if f.idx.size == 0 {
+		return 0, false
+	}
+	greedy := f.idx.greedyVictim()
+	if foreground {
+		// Foreground collections always use plain greedy: a stalled host
+		// write needs space at minimum cost (see selectVictim).
+		f.stats.VictimSelections++
+		return greedy, true
+	}
+	var choice int
+	switch s := f.cfg.Selector.(type) {
+	case Greedy:
+		choice = greedy
+	case CostBenefit:
+		choice = f.costBenefitVictim()
+	case SIPGreedy:
+		choice = f.sipGreedyVictim(s, greedy)
+	default:
+		f.candScratch = f.appendCandidates(f.candScratch[:0])
+		return f.candScratch[f.selectVictim(f.candScratch, false)].Index, true
+	}
+	f.stats.VictimSelections++
+	// Table 3 counts selections where SIP filtering paid migration cost to
+	// avoid a tainted block — the same predicate selectVictim applies.
+	if greedy != choice &&
+		f.sipPerBlock[greedy] > f.sipPerBlock[choice] &&
+		f.idx.vcnt[choice] > f.idx.vcnt[greedy] {
+		f.stats.FilteredSelections++
+	}
+	return choice, true
+}
+
+// costBenefitVictim evaluates the cost-benefit policy over the index's
+// bucket champions. Within a bucket every member shares the utilization
+// term, so the score is maximized by the smallest (lastInvalidate, index)
+// — exactly the cached champion — and the full-scan winner is always some
+// bucket's champion. A fully-invalid block short-circuits, as in
+// CostBenefit.Select; the tree root is the lowest-indexed such block.
+func (f *FTL) costBenefitVictim() int {
+	ix := f.idx
+	root := ix.greedyVictim()
+	if ix.vcnt[root] == 0 {
+		return root
+	}
+	ppb := float64(f.cfg.Geometry.PagesPerBlock)
+	best, bestScore := -1, -1.0
+	for v := 1; v < ix.ppb; v++ {
+		c := ix.champ[v]
+		if c < 0 {
+			continue
+		}
+		b := int(c)
+		age := f.now - f.lastInvalidate[b]
+		if age < 0 {
+			age = 0
+		}
+		u := float64(v) / ppb
+		score := float64(age) * (1 - u) / (2 * u)
+		if score > bestScore || (score == bestScore && b < best) {
+			best, bestScore = b, score
+		}
+	}
+	return best
+}
+
+// sipGreedyVictim evaluates SIP-aware selection over the bounded bucket
+// frontier Valid ≤ greedy+slack, walking only the blocks a migration-cost
+// budget could ever justify — cold buckets beyond the slack are never
+// touched. The comparison chain matches SIPGreedy.Select term for term.
+func (f *FTL) sipGreedyVictim(s SIPGreedy, greedy int) int {
+	slack := s.SlackPages
+	if slack == 0 {
+		slack = 8
+	}
+	ix := f.idx
+	gv := int(ix.vcnt[greedy])
+	gs := f.sipPerBlock[greedy]
+	if gv == 0 || float64(gs)/float64(gv) <= s.MaxSIPFraction {
+		return greedy // not tainted enough to pay anything for
+	}
+	best, bestSIP, bestValid := greedy, gs, gv
+	limit := gv + slack
+	if limit > ix.ppb-1 {
+		limit = ix.ppb - 1
+	}
+	for v := 0; v <= limit; v++ {
+		for m := ix.bhead[v]; m >= 0; m = ix.next[m] {
+			b := int(m)
+			sv := f.sipPerBlock[b]
+			if sv < bestSIP ||
+				(sv == bestSIP && v < bestValid) ||
+				(sv == bestSIP && v == bestValid && b < best) {
+				best, bestSIP, bestValid = b, sv, v
+			}
+		}
+	}
+	return best
 }
 
 // collectOnce collects one victim block: migrate its valid pages to the GC
@@ -215,11 +320,11 @@ func (f *FTL) collectOnce(foreground bool) (time.Duration, error) {
 		victim = wl
 		f.stats.VictimSelections++
 	} else {
-		cands := f.victimCandidates()
-		if len(cands) == 0 {
+		v, ok := f.pickVictim(foreground)
+		if !ok {
 			return 0, fmt.Errorf("%w: %d free blocks, no candidates", ErrNoFreeBlocks, len(f.freeBlocks))
 		}
-		victim = cands[f.selectVictim(cands, foreground)].Index
+		victim = v
 	}
 	traced := f.tr.Enabled()
 	var freeBefore int64
@@ -264,6 +369,7 @@ func (f *FTL) collectOnce(foreground bool) (time.Duration, error) {
 			// already migrated, so it simply drops out of circulation and
 			// the device shrinks. Collection achieved no free space, but
 			// the migration work was real — account it.
+			f.syncIndex(victim) // retired blocks leave the victim index
 			f.accountCollection(foreground, total)
 			finish(total)
 			return total, nil
@@ -284,6 +390,8 @@ func (f *FTL) collectOnce(foreground bool) (time.Duration, error) {
 	total += d
 	f.stats.Erases++
 	f.freeBlocks = append(f.freeBlocks, victim)
+	f.inFreePool[victim] = true
+	f.syncIndex(victim) // pooled blocks leave the victim index
 	f.progFails[victim] = 0
 
 	f.accountCollection(foreground, total)
@@ -328,13 +436,9 @@ func (f *FTL) wearVictim() (int, bool) {
 		return 0, false
 	}
 	geo := f.cfg.Geometry
-	free := make(map[int]bool, len(f.freeBlocks))
-	for _, b := range f.freeBlocks {
-		free[b] = true
-	}
 	best, found := 0, false
 	for b := 0; b < geo.TotalBlocks(); b++ {
-		if free[b] || b == f.hostActive || b == f.gcActive || f.dev.Retired(b) {
+		if f.inFreePool[b] || b == f.hostActive || b == f.gcActive || f.dev.Retired(b) {
 			continue
 		}
 		if f.dev.WritePtr(b) < geo.PagesPerBlock {
@@ -412,6 +516,11 @@ func (f *FTL) migratePage(src nand.PageAddr) (time.Duration, error) {
 	f.l2p[lpn] = dstPPN
 	f.p2l[dstPPN] = lpn
 	f.p2l[srcPPN] = unmapped
+	// Migration invalidates without touching lastInvalidate (the data is
+	// not newly cold, it just moved); the source's valid count still shrank
+	// — keep its index bucket current. Wear-leveling victims enter the
+	// index here the moment they first drop below fully-valid.
+	f.syncIndex(src.Block)
 
 	f.stats.GCMigrations++
 	if _, ok := f.sip[lpn]; ok {
@@ -489,21 +598,15 @@ func (f *FTL) ReclaimBackground(targetPages int64, maxTime time.Duration) (Recla
 func (f *FTL) GCBandwidth() float64 {
 	geo := f.cfg.Geometry
 	ppb := float64(geo.PagesPerBlock)
-	// Average utilization of candidate blocks approximates migration cost.
-	cands := f.victimCandidates()
+	// Average utilization of candidate blocks approximates migration cost;
+	// the victim index carries the candidate count, the valid-page sum and
+	// the greedy minimum, so no scan is needed.
 	u := 0.5
-	if len(cands) > 0 {
-		var valid int
-		best := ppb
-		for _, c := range cands {
-			valid += c.Valid
-			if v := float64(c.Valid); v < best {
-				best = v
-			}
-		}
+	if f.idx.size > 0 {
 		// Greedy collects near the cheap end; weight the minimum and the
 		// mean to approximate what the selector will actually pick.
-		mean := float64(valid) / float64(len(cands)) / ppb
+		best := float64(f.idx.vcnt[f.idx.greedyVictim()])
+		mean := float64(f.idx.sumValid) / float64(f.idx.size) / ppb
 		u = (best/ppb + mean) / 2
 	}
 	if u > 0.95 {

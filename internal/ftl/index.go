@@ -1,0 +1,259 @@
+package ftl
+
+import (
+	"fmt"
+	"time"
+)
+
+// victimIndex incrementally maintains the set of GC-eligible blocks — the
+// exact set appendCandidates would enumerate with a full scan — so victim
+// selection never walks cold blocks and never allocates. It answers the
+// three built-in selection policies without materializing a candidate
+// slice:
+//
+//   - Greedy: a tournament tree over all blocks, keyed by (valid pages,
+//     block index) lexicographically, holds the greedy winner at its root.
+//     Reads are O(1); membership or valid-count changes are O(log B).
+//   - Cost-Benefit: blocks are threaded onto doubly-linked buckets keyed
+//     by valid-page count. Each bucket caches its champion — the member
+//     minimizing (lastInvalidate, index), which is the bucket's maximum
+//     cost-benefit score with the scan tie-break — so a selection compares
+//     at most PagesPerBlock champions instead of every block.
+//   - SIP-Greedy: the bounded frontier of buckets within SlackPages of the
+//     greedy choice is walked directly; blocks outside it are never
+//     touched.
+//
+// Updates are O(1) for the bucket links and O(log B) for the tree. The one
+// amortized operation is re-scanning a bucket when its cached champion
+// leaves; the champion is the bucket's oldest member, so under random
+// traffic the rescan triggers on ~1/len(bucket) of removals.
+//
+// The index's answers are bit-for-bit identical to the retired full-scan
+// selectors, including every deterministic tie-break — the golden
+// renderings depend on this, and the differential property test in
+// index_test.go plus CheckConsistency's index invariants enforce it.
+type victimIndex struct {
+	ppb     int
+	lastInv []time.Duration // shared with the owning FTL; never reallocated
+
+	inIdx []bool  // membership
+	vcnt  []int32 // cached valid-page count per member (stale when !inIdx)
+	next  []int32 // bucket forward links, -1 terminated
+	prev  []int32 // bucket backward links, -1 at head
+	bhead []int32 // bucket heads per valid count v in [0, ppb-1], -1 empty
+	champ []int32 // per bucket: member minimizing (lastInv, index), -1 empty
+
+	size     int   // number of member blocks
+	sumValid int64 // sum of members' valid counts, for GC bandwidth estimation
+
+	leafBase int     // tree slot of block 0; power of two ≥ block count
+	tree     []int32 // 1-indexed tournament tree of block ids, -1 empty
+}
+
+// newVictimIndex builds an empty index over nblocks blocks of ppb pages,
+// sharing the FTL's lastInvalidate slice for champion ordering.
+func newVictimIndex(nblocks, ppb int, lastInv []time.Duration) *victimIndex {
+	leafBase := 1
+	for leafBase < nblocks {
+		leafBase <<= 1
+	}
+	ix := &victimIndex{
+		ppb:      ppb,
+		lastInv:  lastInv,
+		inIdx:    make([]bool, nblocks),
+		vcnt:     make([]int32, nblocks),
+		next:     make([]int32, nblocks),
+		prev:     make([]int32, nblocks),
+		bhead:    make([]int32, ppb),
+		champ:    make([]int32, ppb),
+		leafBase: leafBase,
+		tree:     make([]int32, 2*leafBase),
+	}
+	ix.reset()
+	return ix
+}
+
+// reset empties the index in place (snapshot restore rebuilds from scratch).
+func (ix *victimIndex) reset() {
+	for i := range ix.inIdx {
+		ix.inIdx[i] = false
+	}
+	for i := range ix.bhead {
+		ix.bhead[i] = -1
+		ix.champ[i] = -1
+	}
+	for i := range ix.tree {
+		ix.tree[i] = -1
+	}
+	ix.size = 0
+	ix.sumValid = 0
+}
+
+// greedyVictim returns the member minimizing (valid, index) — the exact
+// greedy choice — or -1 when the index is empty. O(1).
+func (ix *victimIndex) greedyVictim() int { return int(ix.tree[1]) }
+
+// contains reports membership.
+func (ix *victimIndex) contains(b int) bool { return ix.inIdx[b] }
+
+// insert adds block b with the given valid count.
+func (ix *victimIndex) insert(b, valid int) {
+	if ix.inIdx[b] {
+		panic(fmt.Sprintf("ftl: victim index double-insert of block %d", b))
+	}
+	if valid < 0 || valid >= ix.ppb {
+		panic(fmt.Sprintf("ftl: victim index insert of block %d with valid %d", b, valid))
+	}
+	ix.inIdx[b] = true
+	ix.vcnt[b] = int32(valid)
+	ix.bucketInsert(b, valid)
+	ix.size++
+	ix.sumValid += int64(valid)
+	ix.fix(b)
+}
+
+// remove deletes block b from the index.
+func (ix *victimIndex) remove(b int) {
+	if !ix.inIdx[b] {
+		panic(fmt.Sprintf("ftl: victim index remove of absent block %d", b))
+	}
+	ix.bucketRemove(b, int(ix.vcnt[b]))
+	ix.inIdx[b] = false
+	ix.size--
+	ix.sumValid -= int64(ix.vcnt[b])
+	ix.fix(b)
+}
+
+// updateValid moves member b to the bucket of its new valid count. A
+// no-op when the count is unchanged: lastInvalidate only moves together
+// with a valid-count change, so an equal count means an identical key.
+func (ix *victimIndex) updateValid(b, valid int) {
+	old := int(ix.vcnt[b])
+	if old == valid {
+		return
+	}
+	ix.bucketRemove(b, old)
+	ix.vcnt[b] = int32(valid)
+	ix.bucketInsert(b, valid)
+	ix.sumValid += int64(valid - old)
+	ix.fix(b)
+}
+
+// older reports whether a precedes c in champion order: ascending
+// (lastInvalidate, index). The oldest last invalidation maximizes the
+// cost-benefit age term; the index tie-break mirrors the full scan's.
+func (ix *victimIndex) older(a, c int) bool {
+	la, lc := ix.lastInv[a], ix.lastInv[c]
+	if la != lc {
+		return la < lc
+	}
+	return a < c
+}
+
+// bucketInsert links b at the head of bucket v and refreshes the champion.
+func (ix *victimIndex) bucketInsert(b, v int) {
+	h := ix.bhead[v]
+	ix.next[b], ix.prev[b] = h, -1
+	if h >= 0 {
+		ix.prev[h] = int32(b)
+	}
+	ix.bhead[v] = int32(b)
+	if c := ix.champ[v]; c < 0 || ix.older(b, int(c)) {
+		ix.champ[v] = int32(b)
+	}
+}
+
+// bucketRemove unlinks b from bucket v, re-scanning for a new champion
+// only when b held the title.
+func (ix *victimIndex) bucketRemove(b, v int) {
+	if p := ix.prev[b]; p >= 0 {
+		ix.next[p] = ix.next[b]
+	} else {
+		ix.bhead[v] = ix.next[b]
+	}
+	if n := ix.next[b]; n >= 0 {
+		ix.prev[n] = ix.prev[b]
+	}
+	if int(ix.champ[v]) == b {
+		best := int32(-1)
+		for m := ix.bhead[v]; m >= 0; m = ix.next[m] {
+			if best < 0 || ix.older(int(m), int(best)) {
+				best = m
+			}
+		}
+		ix.champ[v] = best
+	}
+}
+
+// fix rewrites b's tree leaf from its membership state and replays the
+// matches up to the root. O(log B).
+func (ix *victimIndex) fix(b int) {
+	i := ix.leafBase + b
+	if ix.inIdx[b] {
+		ix.tree[i] = int32(b)
+	} else {
+		ix.tree[i] = -1
+	}
+	for i >>= 1; i >= 1; i >>= 1 {
+		ix.tree[i] = ix.better(ix.tree[2*i], ix.tree[2*i+1])
+	}
+}
+
+// better returns the tournament winner among two block ids (-1 = bye):
+// the lexicographic minimum of (valid count, block index).
+func (ix *victimIndex) better(a, c int32) int32 {
+	if a < 0 {
+		return c
+	}
+	if c < 0 {
+		return a
+	}
+	if va, vc := ix.vcnt[a], ix.vcnt[c]; va != vc {
+		if va < vc {
+			return a
+		}
+		return c
+	}
+	if a < c {
+		return a
+	}
+	return c
+}
+
+// indexEligible reports whether block b belongs in the victim index: fully
+// written, not pooled, not an active stream, not retired, and holding at
+// least one reclaimable page. This is the membership predicate the
+// incremental hooks and CheckConsistency both evaluate; it must match what
+// appendCandidates enumerates.
+func (f *FTL) indexEligible(b int) bool {
+	ppb := f.cfg.Geometry.PagesPerBlock
+	return !f.inFreePool[b] && b != f.hostActive && b != f.gcActive &&
+		!f.dev.Retired(b) && f.dev.WritePtr(b) >= ppb && f.dev.ValidCount(b) < ppb
+}
+
+// syncIndex reconciles block b's index membership and bucket after any
+// state change that can affect its eligibility or key. All FTL mutation
+// paths funnel through this hook.
+func (f *FTL) syncIndex(b int) {
+	if f.indexEligible(b) {
+		if f.idx.contains(b) {
+			f.idx.updateValid(b, f.dev.ValidCount(b))
+		} else {
+			f.idx.insert(b, f.dev.ValidCount(b))
+		}
+	} else if f.idx.contains(b) {
+		f.idx.remove(b)
+	}
+}
+
+// rebuildVictimIndex repopulates the index from device state, used after a
+// snapshot restore (the index, like the reverse map, is derived state that
+// does not survive a power cycle in serialized form).
+func (f *FTL) rebuildVictimIndex() {
+	f.idx.reset()
+	for b := 0; b < f.cfg.Geometry.TotalBlocks(); b++ {
+		if f.indexEligible(b) {
+			f.idx.insert(b, f.dev.ValidCount(b))
+		}
+	}
+}

@@ -139,6 +139,8 @@ func (f *FTL) retireBlock(b int, reason string) {
 	f.progFails[b] = 0
 	f.stats.RetiredByFault++
 	f.tr.BlockRetired(f.now, b, reason, f.dev.EraseCount(b))
+	// A retired block must never be offered as a GC victim again.
+	f.syncIndex(b)
 }
 
 // dropLostPage abandons a logical page whose physical copy could not be

@@ -106,7 +106,9 @@ func (f *FTL) Restore(r io.Reader) error {
 	if nFree < 0 || nFree > int64(geo.TotalBlocks()) {
 		return fmt.Errorf("ftl: snapshot free pool size %d", nFree)
 	}
-	freeBlocks := make([]int, nFree)
+	// Full capacity is reserved up front so steady-state erase/takeFreeBlock
+	// cycles after the restore append in place instead of growing the slice.
+	freeBlocks := make([]int, nFree, geo.TotalBlocks())
 	for i := range freeBlocks {
 		v, err := readI64()
 		if err != nil {
@@ -160,5 +162,14 @@ func (f *FTL) Restore(r io.Reader) error {
 	for i := range f.sipPerBlock {
 		f.sipPerBlock[i] = 0
 	}
+	// The free-pool bitmap and victim index are derived state, rebuilt from
+	// the restored pool and the device image.
+	for i := range f.inFreePool {
+		f.inFreePool[i] = false
+	}
+	for _, b := range freeBlocks {
+		f.inFreePool[b] = true
+	}
+	f.rebuildVictimIndex()
 	return nil
 }

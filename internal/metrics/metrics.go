@@ -7,7 +7,7 @@ package metrics
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 	"unicode/utf8"
@@ -138,12 +138,13 @@ func (r Results) NormalizedWAF(base Results) float64 {
 // long to retain — percentiles are then accurate to one histogram bucket
 // (≤ ~3% relative error) and Samples returns nil.
 type LatencyRecorder struct {
-	samples []time.Duration
-	sorted  []time.Duration // cached ascending copy; nil when stale
-	sum     time.Duration
-	max     time.Duration
-	count   int64
-	hist    *telemetry.LogHist // non-nil selects streaming mode
+	samples     []time.Duration
+	sorted      []time.Duration // cached ascending copy, see sortedStale
+	sortedStale bool            // sorted must be refilled before use
+	sum         time.Duration
+	max         time.Duration
+	count       int64
+	hist        *telemetry.LogHist // non-nil selects streaming mode
 }
 
 // NewStreamingLatencyRecorder builds a recorder in streaming mode: constant
@@ -166,7 +167,10 @@ func (l *LatencyRecorder) Add(d time.Duration) {
 		l.hist.Add(int64(d))
 	} else {
 		l.samples = append(l.samples, d)
-		l.sorted = nil // invalidate the percentile cache
+		// Invalidate the percentile cache but keep its backing array: the
+		// next Percentile refills it in place instead of reallocating
+		// len(samples) on every cold query.
+		l.sortedStale = true
 	}
 	l.count++
 	l.sum += d
@@ -205,10 +209,10 @@ func (l *LatencyRecorder) Percentile(p float64) time.Duration {
 	if l.hist != nil {
 		return time.Duration(l.hist.Quantile(p / 100))
 	}
-	if l.sorted == nil {
-		l.sorted = make([]time.Duration, len(l.samples))
-		copy(l.sorted, l.samples)
-		sort.Slice(l.sorted, func(i, j int) bool { return l.sorted[i] < l.sorted[j] })
+	if l.sortedStale || l.sorted == nil {
+		l.sorted = append(l.sorted[:0], l.samples...)
+		slices.Sort(l.sorted)
+		l.sortedStale = false
 	}
 	sorted := l.sorted
 	if p <= 0 {

@@ -59,11 +59,21 @@ func TestPercentileCache(t *testing.T) {
 		t.Error("second query rebuilt the sorted slice")
 	}
 	l.Add(time.Millisecond / 2)
-	if l.sorted != nil {
+	if !l.sortedStale {
 		t.Fatal("Add did not invalidate the cache")
 	}
 	if got := l.Percentile(0); got != time.Millisecond/2 {
 		t.Errorf("p0 after invalidation = %v, cache is stale", got)
+	}
+	// Invalidation keeps the backing array: a cold re-query at unchanged
+	// sample count refills the existing buffer instead of reallocating.
+	refill := &l.sorted[0]
+	l.sortedStale = true
+	if got := l.Percentile(0); got != time.Millisecond/2 {
+		t.Errorf("p0 after refill = %v", got)
+	}
+	if &l.sorted[0] != refill {
+		t.Error("cold re-query reallocated the sorted buffer")
 	}
 	// The arrival-order samples are untouched by the cached sort.
 	if s := l.Samples(); s[0] != 100*time.Millisecond {

@@ -98,6 +98,18 @@ type Cache struct {
 	cfg   Config
 	dirty map[int64]time.Duration // LPN → last update time
 	stats Stats
+
+	// Steady-state scratch, reused so the flusher tick and direct reclaim
+	// stop allocating: flushBuf backs the slices Write and Flush return,
+	// scanBuf backs the eviction age scan.
+	flushBuf []int64
+	scanBuf  []scanEntry
+}
+
+// scanEntry pairs a dirty page with its age for eviction sorting.
+type scanEntry struct {
+	lpn  int64
+	last time.Duration
 }
 
 // ErrBadLPN is returned for negative logical page numbers.
@@ -123,7 +135,9 @@ func (c *Cache) DirtyPageCount() int { return len(c.dirty) }
 // Write records a buffered write of n consecutive pages starting at lpn at
 // time now. If the cache would exceed its capacity, the oldest dirty pages
 // are reclaimed synchronously and returned so the caller can issue them to
-// the SSD immediately (they count as pressure flushes).
+// the SSD immediately (they count as pressure flushes). The returned slice
+// shares the cache's scratch buffer and is valid only until the next Write
+// or Flush call.
 func (c *Cache) Write(now time.Duration, lpn int64, n int) (reclaimed []int64, err error) {
 	if lpn < 0 {
 		return nil, fmt.Errorf("%w: %d", ErrBadLPN, lpn)
@@ -140,7 +154,8 @@ func (c *Cache) Write(now time.Duration, lpn int64, n int) (reclaimed []int64, e
 		c.stats.WrittenPages++
 	}
 	if over := len(c.dirty) - c.cfg.CapacityPages; over > 0 {
-		reclaimed = c.evictOldest(over)
+		reclaimed = c.evictOldestInto(c.flushBuf[:0], over)
+		c.flushBuf = reclaimed
 		c.stats.PressureFlushes += int64(len(reclaimed))
 		c.stats.FlushedPages += int64(len(reclaimed))
 	}
@@ -150,9 +165,11 @@ func (c *Cache) Write(now time.Duration, lpn int64, n int) (reclaimed []int64, e
 // Flush runs the flusher thread at time now (a multiple of FlusherPeriod in
 // normal operation) and returns the LPNs written back, oldest first:
 // every page older than τ_expire, plus — if the dirty set still exceeds
-// τ_flush — the oldest remaining pages down to the threshold.
+// τ_flush — the oldest remaining pages down to the threshold. The returned
+// slice shares the cache's scratch buffer and is valid only until the next
+// Write or Flush call.
 func (c *Cache) Flush(now time.Duration) []int64 {
-	var expired []int64
+	expired := c.flushBuf[:0]
 	for lpn, last := range c.dirty {
 		if now-last >= c.cfg.Expire {
 			expired = append(expired, lpn)
@@ -174,26 +191,23 @@ func (c *Cache) Flush(now time.Duration) []int64 {
 
 	limit := int(c.cfg.FlushRatio * float64(c.cfg.CapacityPages))
 	if len(c.dirty) > limit {
-		extra := c.evictOldest(len(c.dirty) - limit)
-		c.stats.PressureFlushes += int64(len(extra))
-		out = append(out, extra...)
+		before := len(out)
+		out = c.evictOldestInto(out, len(c.dirty)-limit)
+		c.stats.PressureFlushes += int64(len(out) - before)
 	}
 	c.stats.FlushedPages += int64(len(out))
+	c.flushBuf = out
 	return out
 }
 
-// evictOldest removes the n oldest dirty pages and returns them.
-func (c *Cache) evictOldest(n int) []int64 {
+// evictOldestInto removes the n oldest dirty pages and appends them to dst.
+func (c *Cache) evictOldestInto(dst []int64, n int) []int64 {
 	if n <= 0 {
-		return nil
+		return dst
 	}
-	type entry struct {
-		lpn  int64
-		last time.Duration
-	}
-	all := make([]entry, 0, len(c.dirty))
+	all := c.scanBuf[:0]
 	for lpn, last := range c.dirty {
-		all = append(all, entry{lpn, last})
+		all = append(all, scanEntry{lpn, last})
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].last != all[j].last {
@@ -201,15 +215,15 @@ func (c *Cache) evictOldest(n int) []int64 {
 		}
 		return all[i].lpn < all[j].lpn
 	})
+	c.scanBuf = all
 	if n > len(all) {
 		n = len(all)
 	}
-	out := make([]int64, n)
 	for i := 0; i < n; i++ {
-		out[i] = all[i].lpn
+		dst = append(dst, all[i].lpn)
 		delete(c.dirty, all[i].lpn)
 	}
-	return out
+	return dst
 }
 
 // DirtyPages returns a snapshot of all dirty pages, sorted oldest first

@@ -133,6 +133,7 @@ type Simulator struct {
 	cache  *pagecache.Cache
 	ftl    *ftl.FTL
 	policy core.Policy
+	pview  core.DeviceView // boxed once; handed to the policy every tick
 	env    *Env
 	tr     *telemetry.Tracer
 
@@ -206,6 +207,7 @@ func New(cfg Config, factory PolicyFactory) (*Simulator, error) {
 		idleFrac: 1, // optimistic until the first interval is measured
 		tr:       cfg.Tracer,
 	}
+	s.pview = view{s}
 	device.SetTracer(cfg.Tracer)
 	if cfg.StreamingLatency {
 		s.lat = *metrics.NewStreamingLatencyRecorder()
@@ -464,7 +466,7 @@ func (s *Simulator) handleTick(t time.Duration) error {
 	if err := s.tickFlush(t); err != nil {
 		return err
 	}
-	s.tickApply(t, s.policy.OnInterval(t, view{s}))
+	s.tickApply(t, s.policy.OnInterval(t, s.pview))
 	return nil
 }
 
@@ -563,7 +565,7 @@ func (s *Simulator) TickFlush(t time.Duration) error {
 // where an array GC coordinator intervenes — before handing it back to
 // TickApply.
 func (s *Simulator) TickDecide(t time.Duration) core.Decision {
-	return s.policy.OnInterval(t, view{s})
+	return s.policy.OnInterval(t, s.pview)
 }
 
 // TickApply runs the final phase: install dec (possibly adjusted by the

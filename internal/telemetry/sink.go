@@ -28,7 +28,8 @@ type Sink interface {
 type JSONLSink struct {
 	mu  sync.Mutex
 	bw  *bufio.Writer
-	c   io.Closer // nil when the caller owns the writer's lifetime
+	enc *json.Encoder // bound to bw; reuses its scratch across events
+	c   io.Closer     // nil when the caller owns the writer's lifetime
 	err error
 	n   int64
 }
@@ -37,27 +38,28 @@ type JSONLSink struct {
 // io.Closer it is closed by Close.
 func NewJSONLSink(w io.Writer) *JSONLSink {
 	s := &JSONLSink{bw: bufio.NewWriterSize(w, 1<<16)}
+	s.enc = json.NewEncoder(s.bw)
 	if c, ok := w.(io.Closer); ok {
 		s.c = c
 	}
 	return s
 }
 
-// Emit implements Sink.
+// Emit implements Sink. Events are serialized through one json.Encoder so
+// the per-event marshal buffer is pooled inside the encoder instead of
+// being reallocated on every emit (Encode terminates each object with the
+// newline JSONL requires).
 func (s *JSONLSink) Emit(ev Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.err != nil {
 		return
 	}
-	b, err := json.Marshal(ev)
-	if err != nil {
-		s.err = fmt.Errorf("telemetry: encode event: %w", err)
-		return
+	if s.enc == nil { // sinks built as bare literals (tests) lack the encoder
+		s.enc = json.NewEncoder(s.bw)
 	}
-	b = append(b, '\n')
-	if _, err := s.bw.Write(b); err != nil {
-		s.err = fmt.Errorf("telemetry: write event: %w", err)
+	if err := s.enc.Encode(ev); err != nil {
+		s.err = fmt.Errorf("telemetry: encode event: %w", err)
 		return
 	}
 	s.n++
