@@ -10,7 +10,13 @@
 GO ?= go
 COVERAGE_BASELINE := $(shell cat ci/coverage-baseline.txt)
 
-.PHONY: ci build vet test test-race fuzz-regress fault-regress coverage-gate fuzz bench-run bench bench-gate bench-baseline bench-full
+.PHONY: ci build vet test test-race fuzz-regress fault-regress coverage-gate fuzz bench-run bench bench-gate bench-baseline bench-full bench-scale
+
+# Tolerance band for the bytes-per-logical-page memory gate: the FTL's
+# metadata footprint (heap delta around construction, measured by
+# BenchmarkFTLMemoryFootprint at the million-page geometry) may grow at
+# most 10% + 1 B/page past the checked-in baseline before CI fails.
+BYTES_PER_LPAGE_BAND := bytes/lpage=1.10,1.0
 
 ci: build vet test-race fuzz-regress fault-regress coverage-gate bench-gate
 
@@ -68,9 +74,20 @@ bench-run:
 		./internal/telemetry/ ./internal/metrics/ | tee -a bench.out
 	$(GO) test -bench='VictimSelect|SteadyStateWrite' -benchmem -benchtime=10000x -run '^$$' \
 		./internal/ftl/ | tee -a bench.out
+	$(GO) test -bench='FTLMemoryFootprint' -benchmem -benchtime=1x -run '^$$' \
+		./internal/ftl/ | tee -a bench.out
 
 bench: bench-run
-	$(GO) run ./ci/benchjson -in bench.out -out BENCH_pr5.json
+	$(GO) run ./ci/benchjson -in bench.out -out BENCH_pr6.json
+
+# Scale artifact: the million-page memory-footprint measurement plus the
+# hot-path benchmarks at growing block counts, archived as BENCH_pr6.json.
+bench-scale:
+	$(GO) test -bench='FTLMemoryFootprint' -benchmem -benchtime=1x -run '^$$' \
+		./internal/ftl/ | tee bench-scale.out
+	$(GO) test -bench='VictimSelect|SteadyStateWrite' -benchmem -benchtime=10000x -run '^$$' \
+		./internal/ftl/ | tee -a bench-scale.out
+	$(GO) run ./ci/benchjson -in bench-scale.out -out BENCH_pr6.json
 
 # Benchmark regression gate: rerun the smoke benchmarks and compare against
 # the checked-in baseline. Allocation and B/op bands are tight (these are
@@ -79,7 +96,8 @@ bench: bench-run
 # performance change, refresh the baseline with `make bench-baseline` and
 # commit ci/bench-baseline.json alongside the change.
 bench-gate: bench-run
-	$(GO) run ./ci/benchjson -gate -baseline ci/bench-baseline.json -in bench.out
+	$(GO) run ./ci/benchjson -gate -baseline ci/bench-baseline.json \
+		-metric '$(BYTES_PER_LPAGE_BAND)' -in bench.out
 
 bench-baseline: bench-run
 	$(GO) run ./ci/benchjson -gate -baseline ci/bench-baseline.json -update-baseline -in bench.out

@@ -1,6 +1,6 @@
 // Command benchjson converts `go test -bench` text output into a JSON
 // summary, so CI can archive benchmark smoke runs as machine-readable
-// artifacts (make bench → BENCH_pr5.json) without external tooling.
+// artifacts (make bench → BENCH_pr6.json) without external tooling.
 //
 // With -gate it instead compares the run against a checked-in baseline and
 // fails on regression. Allocation counts and bytes/op are near-deterministic
@@ -10,11 +10,18 @@
 // not). A benchmark present in the baseline but missing from the run is a
 // failure — deleting a benchmark must be an explicit baseline update.
 //
+// Custom b.ReportMetric series (anything that is not ns/op, B/op, or
+// allocs/op) are archived in the JSON under "metrics". They are gated only
+// when named by a repeatable -metric unit=ratio,slack flag — e.g.
+// `-metric bytes/lpage=1.10,1.0` fails the build when the per-logical-page
+// metadata footprint grows 10% past the baseline.
+//
 // Usage:
 //
 //	go test -bench=. -benchmem . | go run ./ci/benchjson -out BENCH.json
 //	go run ./ci/benchjson -in bench.out -gate -baseline ci/bench-baseline.json
 //	go run ./ci/benchjson -in bench.out -gate -baseline ci/bench-baseline.json -update-baseline
+//	go run ./ci/benchjson -in bench.out -gate -baseline ci/bench-baseline.json -metric bytes/lpage=1.10,1.0
 package main
 
 import (
@@ -54,6 +61,9 @@ func main() {
 	bSlack := flag.Float64("bytes-slack", 512, "gate: absolute B/op slack added to the ratio band")
 	aRatio := flag.Float64("allocs-ratio", 1.10, "gate: fail when allocs/op exceeds baseline*ratio+slack")
 	aSlack := flag.Float64("allocs-slack", 2, "gate: absolute allocs/op slack added to the ratio band")
+	metrics := metricBands{}
+	flag.Var(metrics, "metric", "gate a custom b.ReportMetric unit as unit=ratio,slack "+
+		"(e.g. -metric bytes/lpage=1.10,1.0); repeatable")
 	flag.Parse()
 
 	r := io.Reader(os.Stdin)
@@ -90,9 +100,10 @@ func main() {
 			log.Fatal(err)
 		}
 		tol := tolerances{
-			ns:     band{*nsRatio, *nsSlack},
-			bytes:  band{*bRatio, *bSlack},
-			allocs: band{*aRatio, *aSlack},
+			ns:      band{*nsRatio, *nsSlack},
+			bytes:   band{*bRatio, *bSlack},
+			allocs:  band{*aRatio, *aSlack},
+			metrics: metrics,
 		}
 		failures, notes := compare(base, results, tol)
 		for _, n := range notes {
@@ -135,9 +146,44 @@ type band struct {
 
 func (b band) limit(base float64) float64 { return base*b.Ratio + b.Slack }
 
-// tolerances groups the per-metric bands.
+// metricBands maps a custom b.ReportMetric unit (e.g. "bytes/lpage") to
+// its gate band. It implements flag.Value so -metric is repeatable.
+type metricBands map[string]band
+
+func (m metricBands) String() string {
+	var parts []string
+	for unit, b := range m {
+		parts = append(parts, fmt.Sprintf("%s=%g,%g", unit, b.Ratio, b.Slack))
+	}
+	return strings.Join(parts, " ")
+}
+
+func (m metricBands) Set(s string) error {
+	unit, spec, ok := strings.Cut(s, "=")
+	if !ok || unit == "" {
+		return fmt.Errorf("want unit=ratio,slack, got %q", s)
+	}
+	ratioStr, slackStr, ok := strings.Cut(spec, ",")
+	if !ok {
+		return fmt.Errorf("want unit=ratio,slack, got %q", s)
+	}
+	ratio, err := strconv.ParseFloat(ratioStr, 64)
+	if err != nil {
+		return fmt.Errorf("ratio in %q: %v", s, err)
+	}
+	slack, err := strconv.ParseFloat(slackStr, 64)
+	if err != nil {
+		return fmt.Errorf("slack in %q: %v", s, err)
+	}
+	m[unit] = band{ratio, slack}
+	return nil
+}
+
+// tolerances groups the per-metric bands. metrics gates custom units from
+// Result.Metrics; units without an entry are archived but not gated.
 type tolerances struct {
 	ns, bytes, allocs band
+	metrics           metricBands
 }
 
 // compare checks every baseline benchmark against the current run. It
@@ -165,6 +211,18 @@ func compare(base, cur []Result, tol tolerances) (failures, notes []string) {
 		check("ns/op", b.NsPerOp, c.NsPerOp, tol.ns)
 		check("B/op", b.BytesPerOp, c.BytesPerOp, tol.bytes)
 		check("allocs/op", b.AllocsOp, c.AllocsOp, tol.allocs)
+		for unit, band := range tol.metrics {
+			baseV, inBase := b.Metrics[unit]
+			if !inBase {
+				continue // unit not recorded for this benchmark
+			}
+			curV, inCur := c.Metrics[unit]
+			if !inCur {
+				failures = append(failures, fmt.Sprintf("%s: gated metric %s in baseline but missing from this run", b.Name, unit))
+				continue
+			}
+			check(unit, baseV, curV, band)
+		}
 	}
 	for _, c := range cur {
 		if !baseNames[c.Name] {

@@ -58,6 +58,53 @@ func TestCompareZeroBaseline(t *testing.T) {
 	}
 }
 
+// TestCompareCustomMetricGate pins the -metric semantics: a configured
+// unit is gated with its own band, an unconfigured unit is archived but
+// ignored, and a gated unit that disappears from the run is a failure.
+func TestCompareCustomMetricGate(t *testing.T) {
+	tol := testTol
+	tol.metrics = metricBands{"bytes/lpage": {1.10, 1.0}}
+	base := []Result{{Name: "BenchmarkFTLMemoryFootprint", NsPerOp: 100,
+		Metrics: map[string]float64{"bytes/lpage": 9.1, "req/s": 5}}}
+
+	within := []Result{{Name: "BenchmarkFTLMemoryFootprint", NsPerOp: 100,
+		Metrics: map[string]float64{"bytes/lpage": 9.1*1.10 + 0.9, "req/s": 500}}}
+	if failures, _ := compare(base, within, tol); len(failures) != 0 {
+		t.Errorf("within-band metric failed: %v", failures)
+	}
+
+	over := []Result{{Name: "BenchmarkFTLMemoryFootprint", NsPerOp: 100,
+		Metrics: map[string]float64{"bytes/lpage": 9.1*1.10 + 1.1, "req/s": 5}}}
+	failures, _ := compare(base, over, tol)
+	if len(failures) != 1 || !strings.Contains(failures[0], "bytes/lpage") {
+		t.Errorf("over-band metric not failed: %v", failures)
+	}
+
+	gone := []Result{{Name: "BenchmarkFTLMemoryFootprint", NsPerOp: 100,
+		Metrics: map[string]float64{"req/s": 5}}}
+	failures, _ = compare(base, gone, tol)
+	if len(failures) != 1 || !strings.Contains(failures[0], "missing from this run") {
+		t.Errorf("vanished gated metric not failed: %v", failures)
+	}
+}
+
+// TestMetricBandsSet covers the unit=ratio,slack parser, including units
+// that themselves contain '/' and '='-free garbage.
+func TestMetricBandsSet(t *testing.T) {
+	m := metricBands{}
+	if err := m.Set("bytes/lpage=1.10,1.0"); err != nil {
+		t.Fatal(err)
+	}
+	if got := m["bytes/lpage"]; got != (band{1.10, 1.0}) {
+		t.Errorf("parsed band = %+v", got)
+	}
+	for _, bad := range []string{"bytes/lpage", "bytes/lpage=1.10", "=1,2", "u=x,1", "u=1,y"} {
+		if err := m.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}
+
 func TestCompareMissingAndNew(t *testing.T) {
 	base := []Result{{Name: "BenchmarkGone", NsPerOp: 1}}
 	cur := []Result{{Name: "BenchmarkNew", NsPerOp: 1}}

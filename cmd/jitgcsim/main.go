@@ -19,7 +19,9 @@ import (
 	"strings"
 
 	"jitgc"
+	"jitgc/internal/ftl"
 	"jitgc/internal/metrics"
+	"jitgc/internal/nand"
 	"jitgc/internal/sim"
 	"jitgc/internal/telemetry"
 	"jitgc/internal/trace"
@@ -47,6 +49,7 @@ func main() {
 		pprofA   = flag.String("pprof", "", "serve pprof and expvar debug endpoints on this address (e.g. localhost:6060)")
 		faultR   = flag.Float64("fault-rate", 0, "per-operation NAND failure probability (0 disables fault injection; enables FTL recovery)")
 		faultS   = flag.Int64("fault-seed", 1, "fault model RNG seed, independent of -seed")
+		size     = flag.String("size", "", "device capacity preset (256MiB, 1GiB, 4GiB, 16GiB, 64GiB); default is the built-in 256MiB geometry")
 	)
 	flag.Parse()
 
@@ -97,6 +100,19 @@ func main() {
 	spec := jitgc.PolicySpec{Kind: *policy, Factor: *factor, DisableSIP: *noSIP}
 	opt := jitgc.Options{Seed: *seed, Ops: *ops, Workers: *workers, Tracer: tracer,
 		FaultRate: *faultR, FaultSeed: *faultS}
+	if *size != "" {
+		preset, err := nand.PresetByName(*size)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := sim.DefaultConfig()
+		cfg.FTL.Geometry = preset.Geo
+		// Million-page presets drop payload integrity: they exist for
+		// performance and memory studies, where the 8 bytes/page of tokens
+		// would dominate the footprint being measured.
+		cfg.FTL.DisableIntegrity = preset.Geo.TotalPages() >= 1<<20
+		opt.Config = &cfg
+	}
 	if *devices > 1 {
 		if *traceIn != "" {
 			log.Fatal("-devices > 1 supports synthetic benchmarks only (no -trace)")
@@ -133,6 +149,9 @@ func main() {
 	fmt.Printf("background GC        %d collections\n", res.BGCCollections)
 	fmt.Printf("latency mean/p99/max %v / %v / %v\n",
 		res.MeanLatency.Round(1e3), res.P99Latency.Round(1e3), res.MaxLatency.Round(1e3))
+	if res.StreamingLatency {
+		fmt.Printf("latency recorder     streaming histogram (percentiles bucket-accurate)\n")
+	}
 	fmt.Printf("buffered/direct      %.1f%% / %.1f%% of device writes\n",
 		100*res.BufferedRatio(), 100*(1-res.BufferedRatio()))
 	if res.Predictive {
@@ -250,7 +269,7 @@ func replayTraceFile(path string, msr bool, spec jitgc.PolicySpec, timelinePath 
 	defer f.Close()
 
 	cfg := sim.DefaultConfig()
-	user := int64(float64(cfg.FTL.Geometry.TotalPages()) / (1 + cfg.FTL.OPRatio))
+	user := ftl.UserPagesFor(cfg.FTL.Geometry.TotalPages(), cfg.FTL.OPRatio)
 	var reqs []trace.Request
 	if msr {
 		reqs, err = trace.DecodeMSR(f, trace.MSROptions{Disk: -1, MaxLPN: user})

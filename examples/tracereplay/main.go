@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 
 	"jitgc"
+	"jitgc/internal/ftl"
 	"jitgc/internal/sim"
 	"jitgc/internal/trace"
 	"jitgc/internal/workload"
@@ -28,7 +29,7 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg := sim.DefaultConfig()
-	user := int64(float64(cfg.FTL.Geometry.TotalPages()) / (1 + cfg.FTL.OPRatio))
+	user := ftl.UserPagesFor(cfg.FTL.Geometry.TotalPages(), cfg.FTL.OPRatio)
 	reqs, err := gen.Generate(workload.Params{Seed: 7, Ops: 40000, WorkingSetPages: user / 2})
 	if err != nil {
 		log.Fatal(err)

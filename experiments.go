@@ -45,6 +45,7 @@ func Experiments() []Experiment {
 		{ID: "ablation-percentile", Title: "Ablation: direct-write CDH percentile", Run: ablationPercentile},
 		{ID: "ablation-flush", Title: "Ablation: relaxed vs strict flush-condition prediction", Run: ablationFlush},
 		{ID: "ablation-victim", Title: "Ablation: GC victim selector", Run: ablationVictim},
+		{ID: "scale", Title: "Scale: metadata footprint and WAF vs device capacity (256 MiB – 64 GiB)", Run: scaleExp},
 	}
 }
 

@@ -35,12 +35,12 @@ import (
 func (f *FTL) CheckConsistency() error {
 	geo := f.cfg.Geometry
 	ppb := geo.PagesPerBlock
-	total := int64(geo.TotalPages())
+	total := geo.TotalPages()
 
 	// L2P → P2L, device state, and payload tokens.
 	mapped := int64(0)
 	for lpn := int64(0); lpn < f.userPages; lpn++ {
-		ppn := f.l2p[lpn]
+		ppn := f.l2p.at(lpn)
 		if ppn == unmapped {
 			continue
 		}
@@ -48,7 +48,7 @@ func (f *FTL) CheckConsistency() error {
 		if ppn < 0 || ppn >= total {
 			return fmt.Errorf("ftl: lpn %d maps to out-of-range ppn %d", lpn, ppn)
 		}
-		if back := f.p2l[ppn]; back != lpn {
+		if back := f.p2l.at(ppn); back != lpn {
 			return fmt.Errorf("ftl: lpn %d maps to ppn %d, but p2l says lpn %d", lpn, ppn, back)
 		}
 		tok, st, err := f.dev.PeekPage(nand.AddrOfPPN(ppn, ppb))
@@ -58,7 +58,7 @@ func (f *FTL) CheckConsistency() error {
 		if st != nand.PageValid {
 			return fmt.Errorf("ftl: lpn %d maps to ppn %d in state %v", lpn, ppn, st)
 		}
-		if got := tokenLPN(tok); got != lpn {
+		if got := tokenLPN(tok); f.integrity && got != lpn {
 			return fmt.Errorf("ftl: ppn %d mapped from lpn %d holds payload of lpn %d", ppn, lpn, got)
 		}
 	}
@@ -69,7 +69,7 @@ func (f *FTL) CheckConsistency() error {
 		validHere := 0
 		for p := 0; p < ppb; p++ {
 			ppn := int64(b)*int64(ppb) + int64(p)
-			lpn := f.p2l[ppn]
+			lpn := f.p2l.at(ppn)
 			_, st, err := f.dev.PeekPage(nand.PageAddr{Block: b, Page: p})
 			if err != nil {
 				return err
@@ -79,8 +79,8 @@ func (f *FTL) CheckConsistency() error {
 				if lpn < 0 || lpn >= f.userPages {
 					return fmt.Errorf("ftl: ppn %d reverse-maps to out-of-range lpn %d", ppn, lpn)
 				}
-				if f.l2p[lpn] != ppn {
-					return fmt.Errorf("ftl: ppn %d reverse-maps to lpn %d, but l2p says ppn %d", ppn, lpn, f.l2p[lpn])
+				if f.l2p.at(lpn) != ppn {
+					return fmt.Errorf("ftl: ppn %d reverse-maps to lpn %d, but l2p says ppn %d", ppn, lpn, f.l2p.at(lpn))
 				}
 			}
 			if (st == nand.PageValid) != (lpn != unmapped) {
@@ -141,7 +141,7 @@ func (f *FTL) CheckConsistency() error {
 	// SIP bookkeeping: the per-block counters must recount exactly.
 	sipCount := make([]int, geo.TotalBlocks())
 	for lpn := range f.sip {
-		if ppn := f.l2p[lpn]; ppn != unmapped {
+		if ppn := f.l2p.at(lpn); ppn != unmapped {
 			sipCount[int(ppn)/ppb]++
 		}
 	}

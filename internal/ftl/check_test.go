@@ -38,39 +38,41 @@ func TestCheckConsistencyViolations(t *testing.T) {
 		corrupt func(f *FTL)
 		want    string
 	}{
-		{"l2p out of range", func(f *FTL) { f.l2p[0] = int64(f.cfg.Geometry.TotalPages()) + 7 }, "out-of-range ppn"},
-		{"l2p p2l mismatch", func(f *FTL) { f.p2l[f.l2p[0]] = 9 }, "p2l says"},
-		{"aliased mapping", func(f *FTL) { f.l2p[0] = f.l2p[1] }, "p2l says"},
+		{"l2p out of range", func(f *FTL) { f.l2p.set(0, f.cfg.Geometry.TotalPages()+7) }, "out-of-range ppn"},
+		{"l2p p2l mismatch", func(f *FTL) { f.p2l.set(f.l2p.at(0), 9) }, "p2l says"},
+		{"aliased mapping", func(f *FTL) { f.l2p.set(0, f.l2p.at(1)) }, "p2l says"},
 		{"payload of wrong lpn", func(f *FTL) {
 			// Swap two mappings wholesale: tables stay inverse, tokens don't.
-			a, b := f.l2p[20], f.l2p[21]
-			f.l2p[20], f.l2p[21] = b, a
-			f.p2l[a], f.p2l[b] = 21, 20
+			a, b := f.l2p.at(20), f.l2p.at(21)
+			f.l2p.set(20, b)
+			f.l2p.set(21, a)
+			f.p2l.set(a, 21)
+			f.p2l.set(b, 20)
 		}, "holds payload of"},
 		{"mapped to invalid page", func(f *FTL) {
 			// lpn 5 was rewritten, so some stale copy of it is PageInvalid;
 			// point the mapping back at one.
 			ppb := f.cfg.Geometry.PagesPerBlock
-			for ppn := int64(0); ppn < int64(f.cfg.Geometry.TotalPages()); ppn++ {
+			for ppn := int64(0); ppn < f.cfg.Geometry.TotalPages(); ppn++ {
 				_, st, _ := f.dev.PeekPage(nand.AddrOfPPN(ppn, ppb))
 				if st == nand.PageInvalid {
-					f.p2l[f.l2p[5]] = unmapped
-					f.l2p[5] = ppn
-					f.p2l[ppn] = 5
+					f.p2l.set(f.l2p.at(5), unmapped)
+					f.l2p.set(5, ppn)
+					f.p2l.set(ppn, 5)
 					return
 				}
 			}
 			panic("no invalid page found")
 		}, "state invalid"},
 		{"orphaned valid page", func(f *FTL) {
-			ppn := f.l2p[7]
-			f.l2p[7] = unmapped
-			f.p2l[ppn] = unmapped
+			ppn := f.l2p.at(7)
+			f.l2p.set(7, unmapped)
+			f.p2l.set(ppn, unmapped)
 		}, "reverse mapping"},
 		{"p2l out of range", func(f *FTL) {
-			for ppn := int64(len(f.p2l)) - 1; ppn >= 0; ppn-- {
-				if f.p2l[ppn] == unmapped {
-					f.p2l[ppn] = f.userPages + 3
+			for ppn := f.p2l.len() - 1; ppn >= 0; ppn-- {
+				if f.p2l.at(ppn) == unmapped {
+					f.p2l.set(ppn, f.userPages+3)
 					return
 				}
 			}
@@ -79,7 +81,7 @@ func TestCheckConsistencyViolations(t *testing.T) {
 		{"free pool duplicate", func(f *FTL) { f.freeBlocks = append(f.freeBlocks, f.freeBlocks[0]) }, "twice"},
 		{"free pool out of range", func(f *FTL) { f.freeBlocks = append(f.freeBlocks, -1) }, "out-of-range block"},
 		{"active block pooled", func(f *FTL) { f.freeBlocks = append(f.freeBlocks, f.hostActive) }, "active block"},
-		{"sip counter drift", func(f *FTL) { f.sipPerBlock[int(f.l2p[1])/f.cfg.Geometry.PagesPerBlock]++ }, "SIP pages"},
+		{"sip counter drift", func(f *FTL) { f.sipPerBlock[int(f.l2p.at(1))/f.cfg.Geometry.PagesPerBlock]++ }, "SIP pages"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -100,10 +102,10 @@ func TestCheckConsistencyValidCountDrift(t *testing.T) {
 	// A pooled block with a forged device-level counter must be caught via
 	// the not-erased check; a non-pooled one via the recount.
 	f := checkedFTL(t)
-	ppn := f.l2p[3]
+	ppn := f.l2p.at(3)
 	blk := int(ppn) / f.cfg.Geometry.PagesPerBlock
-	f.p2l[ppn] = unmapped
-	f.l2p[3] = unmapped
+	f.p2l.set(ppn, unmapped)
+	f.l2p.set(3, unmapped)
 	// Device still counts the page as valid but the mapping is gone: the
 	// state/mapping cross-check fires before the recount does.
 	if err := f.CheckConsistency(); err == nil ||

@@ -58,6 +58,12 @@ type Config struct {
 	// injectors installed via Device().SetFaultInjector stay fatal, which
 	// is what error-propagation tests rely on.
 	Recovery RecoveryConfig
+	// DisableIntegrity drops the per-page payload tokens (8 bytes/page)
+	// that let reads verify end-to-end that GC never aliased data. The
+	// default (integrity on) is right for tests and golden runs; the scale
+	// experiments disable it so a 64 GiB device's metadata stays in the
+	// bytes-per-page regime.
+	DisableIntegrity bool
 }
 
 // DefaultConfig returns a configuration with the paper's 7% OP ratio over
@@ -165,8 +171,9 @@ type FTL struct {
 	dev *nand.Array
 
 	userPages int64   // exposed logical capacity in pages
-	l2p       []int64 // LPN → PPN, unmapped = -1
-	p2l       []int64 // PPN → LPN, unmapped = -1
+	l2p       pageMap // LPN → PPN, unmapped = -1
+	p2l       pageMap // PPN → LPN, unmapped = -1
+	integrity bool    // payload tokens tracked and verified
 
 	freeBlocks []int  // pool of erased blocks
 	inFreePool []bool // mirrors freeBlocks membership for O(1) lookups
@@ -211,7 +218,11 @@ func New(cfg Config) (*FTL, error) {
 	if cfg.Selector == nil {
 		cfg.Selector = Greedy{}
 	}
-	dev, err := nand.NewArray(cfg.Geometry, cfg.Timing)
+	newDev := nand.NewArray
+	if cfg.DisableIntegrity {
+		newDev = nand.NewBareArray
+	}
+	dev, err := newDev(cfg.Geometry, cfg.Timing)
 	if err != nil {
 		return nil, err
 	}
@@ -219,8 +230,8 @@ func New(cfg Config) (*FTL, error) {
 		dev.SetEnduranceLimit(cfg.EnduranceLimit)
 	}
 	geo := cfg.Geometry
-	total := int64(geo.TotalPages())
-	user := int64(float64(total) / (1 + cfg.OPRatio))
+	total := geo.TotalPages()
+	user := UserPagesFor(total, cfg.OPRatio)
 	// The user capacity must leave at least the reserve plus active blocks
 	// worth of OP space.
 	minOP := int64(cfg.FreeBlockReserve+2) * int64(geo.PagesPerBlock)
@@ -231,8 +242,9 @@ func New(cfg Config) (*FTL, error) {
 		cfg:            cfg,
 		dev:            dev,
 		userPages:      user,
-		l2p:            make([]int64, user),
-		p2l:            make([]int64, total),
+		integrity:      !cfg.DisableIntegrity,
+		l2p:            newPageMap(user, total),
+		p2l:            newPageMap(total, total),
 		hostActive:     -1,
 		gcActive:       -1,
 		lastInvalidate: make([]time.Duration, geo.TotalBlocks()),
@@ -245,12 +257,6 @@ func New(cfg Config) (*FTL, error) {
 	if f.recoveryOn {
 		f.fault = nand.NewFaultModel(cfg.Fault)
 		dev.SetFaultInjector(f.fault)
-	}
-	for i := range f.l2p {
-		f.l2p[i] = unmapped
-	}
-	for i := range f.p2l {
-		f.p2l[i] = unmapped
 	}
 	f.freeBlocks = make([]int, geo.TotalBlocks())
 	f.inFreePool = make([]bool, geo.TotalBlocks())
@@ -275,7 +281,7 @@ func (f *FTL) Stats() Stats { return f.stats }
 func (f *FTL) UserPages() int64 { return f.userPages }
 
 // OPPages returns the over-provisioning capacity in pages.
-func (f *FTL) OPPages() int64 { return int64(f.cfg.Geometry.TotalPages()) - f.userPages }
+func (f *FTL) OPPages() int64 { return f.cfg.Geometry.TotalPages() - f.userPages }
 
 // OPBytes returns the over-provisioning capacity C_OP in bytes.
 func (f *FTL) OPBytes() int64 { return f.OPPages() * int64(f.cfg.Geometry.PageSize) }
@@ -335,7 +341,19 @@ func (f *FTL) MappedPPN(lpn int64) int64 {
 	if lpn < 0 || lpn >= f.userPages {
 		return unmapped
 	}
-	return f.l2p[lpn]
+	return f.l2p.at(lpn)
+}
+
+// MetadataBytes returns the heap footprint of the FTL's per-page and
+// per-block metadata — the mapping tables plus the NAND array's state
+// planes. This is what the bytes-per-logical-page memory gate budgets.
+func (f *FTL) MetadataBytes() int64 {
+	n := f.l2p.bytes() + f.p2l.bytes() + f.dev.MetadataBytes()
+	blocks := int64(f.cfg.Geometry.TotalBlocks())
+	n += blocks * (8 + 8 + 8 + 1) // lastInvalidate, sipPerBlock, progFails, inFreePool
+	n += int64(len(f.freeBlocks)) * 8
+	n += f.idx.bytes()
+	return n
 }
 
 // Read services a host read of one logical page and returns the device time
@@ -345,7 +363,7 @@ func (f *FTL) Read(lpn int64) (time.Duration, error) {
 	if lpn < 0 || lpn >= f.userPages {
 		return 0, fmt.Errorf("%w: %d (capacity %d)", ErrBadLPN, lpn, f.userPages)
 	}
-	ppn := f.l2p[lpn]
+	ppn := f.l2p.at(lpn)
 	if ppn == unmapped {
 		// Unwritten data: controllers return zeroes without touching the
 		// array; charge only transfer time.
@@ -362,7 +380,7 @@ func (f *FTL) Read(lpn int64) (time.Duration, error) {
 		}
 		return d, err
 	}
-	if tokenLPN(tok) != lpn {
+	if f.integrity && tokenLPN(tok) != lpn {
 		return d, fmt.Errorf("%w: lpn %d holds payload of lpn %d", ErrCorruption, lpn, tokenLPN(tok))
 	}
 	return d, nil
@@ -417,8 +435,8 @@ func (f *FTL) Write(lpn int64) (service, fgc time.Duration, err error) {
 	f.invalidateMapping(lpn)
 	ppb := f.cfg.Geometry.PagesPerBlock
 	ppn := addr.PPN(ppb)
-	f.l2p[lpn] = ppn
-	f.p2l[ppn] = lpn
+	f.l2p.set(lpn, ppn)
+	f.p2l.set(ppn, lpn)
 	if _, ok := f.sip[lpn]; ok {
 		f.sipPerBlock[addr.Block]++
 	}
@@ -434,7 +452,7 @@ func (f *FTL) Trim(lpn int64) error {
 	if lpn < 0 || lpn >= f.userPages {
 		return fmt.Errorf("%w: %d (capacity %d)", ErrBadLPN, lpn, f.userPages)
 	}
-	if f.l2p[lpn] != unmapped {
+	if f.l2p.at(lpn) != unmapped {
 		f.invalidateMapping(lpn)
 		f.stats.Trims++
 	}
@@ -443,7 +461,7 @@ func (f *FTL) Trim(lpn int64) error {
 
 // invalidateMapping clears lpn's old physical page, if any.
 func (f *FTL) invalidateMapping(lpn int64) {
-	old := f.l2p[lpn]
+	old := f.l2p.at(lpn)
 	if old == unmapped {
 		return
 	}
@@ -453,8 +471,8 @@ func (f *FTL) invalidateMapping(lpn int64) {
 		// A mapping pointing at a non-valid page is an FTL bug; fail loudly.
 		panic(fmt.Sprintf("ftl: corrupt mapping for lpn %d: %v", lpn, err))
 	}
-	f.p2l[old] = unmapped
-	f.l2p[lpn] = unmapped
+	f.p2l.set(old, unmapped)
+	f.l2p.set(lpn, unmapped)
 	f.lastInvalidate[addr.Block] = f.now
 	if _, ok := f.sip[lpn]; ok {
 		if f.sipPerBlock[addr.Block] > 0 {

@@ -206,7 +206,7 @@ func checkInvariants(t *testing.T, f *FTL) {
 	seen := make(map[int64]int64) // ppn → lpn
 	live := int64(0)
 	for lpn := int64(0); lpn < f.UserPages(); lpn++ {
-		ppn := f.l2p[lpn]
+		ppn := f.l2p.at(lpn)
 		if ppn == unmapped {
 			continue
 		}
@@ -215,8 +215,8 @@ func checkInvariants(t *testing.T, f *FTL) {
 			t.Fatalf("PPN %d mapped by both %d and %d", ppn, prev, lpn)
 		}
 		seen[ppn] = lpn
-		if f.p2l[ppn] != lpn {
-			t.Fatalf("p2l[%d] = %d, want %d", ppn, f.p2l[ppn], lpn)
+		if f.p2l.at(ppn) != lpn {
+			t.Fatalf("p2l[%d] = %d, want %d", ppn, f.p2l.at(ppn), lpn)
 		}
 		st, err := f.Device().PageStateAt(nand.AddrOfPPN(ppn, ppb))
 		if err != nil {
@@ -464,11 +464,11 @@ func TestRandomTrafficInvariantsProperty(t *testing.T) {
 		seen := make(map[int64]bool)
 		var live int64
 		for lpn := int64(0); lpn < f.UserPages(); lpn++ {
-			ppn := f.l2p[lpn]
+			ppn := f.l2p.at(lpn)
 			if ppn == unmapped {
 				continue
 			}
-			if seen[ppn] || f.p2l[ppn] != lpn {
+			if seen[ppn] || f.p2l.at(ppn) != lpn {
 				return false
 			}
 			seen[ppn] = true

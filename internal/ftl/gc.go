@@ -159,7 +159,7 @@ func (f *FTL) SetSIPList(lpns []int64) {
 			continue // count each page once, however often it is listed
 		}
 		f.sip[lpn] = struct{}{}
-		if ppn := f.l2p[lpn]; ppn != unmapped {
+		if ppn := f.l2p.at(lpn); ppn != unmapped {
 			f.sipPerBlock[int(ppn)/ppb]++
 		}
 	}
@@ -487,7 +487,7 @@ func (f *FTL) selectVictim(cands []BlockInfo, foreground bool) int {
 func (f *FTL) migratePage(src nand.PageAddr) (time.Duration, error) {
 	ppb := f.cfg.Geometry.PagesPerBlock
 	srcPPN := src.PPN(ppb)
-	lpn := f.p2l[srcPPN]
+	lpn := f.p2l.at(srcPPN)
 	if lpn == unmapped {
 		panic(fmt.Sprintf("ftl: migrating valid page %v with no reverse mapping", src))
 	}
@@ -513,9 +513,9 @@ func (f *FTL) migratePage(src nand.PageAddr) (time.Duration, error) {
 		return total, err
 	}
 	dstPPN := dst.PPN(ppb)
-	f.l2p[lpn] = dstPPN
-	f.p2l[dstPPN] = lpn
-	f.p2l[srcPPN] = unmapped
+	f.l2p.set(lpn, dstPPN)
+	f.p2l.set(dstPPN, lpn)
+	f.p2l.set(srcPPN, unmapped)
 	// Migration invalidates without touching lastInvalidate (the data is
 	// not newly cold, it just moved); the source's valid count still shrank
 	// — keep its index bucket current. Wear-leveling victims enter the

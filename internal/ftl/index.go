@@ -89,6 +89,15 @@ func (ix *victimIndex) reset() {
 	ix.sumValid = 0
 }
 
+// bytes returns the heap footprint of the index's arrays (the shared
+// lastInvalidate slice is charged to the FTL, not here).
+func (ix *victimIndex) bytes() int64 {
+	n := int64(len(ix.inIdx)) * (1 + 4 + 4 + 4) // inIdx, vcnt, next, prev
+	n += int64(len(ix.bhead)) * (4 + 4)         // bhead, champ
+	n += int64(len(ix.tree)) * 4
+	return n
+}
+
 // greedyVictim returns the member minimizing (valid, index) — the exact
 // greedy choice — or -1 when the index is empty. O(1).
 func (ix *victimIndex) greedyVictim() int { return int(ix.tree[1]) }

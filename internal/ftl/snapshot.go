@@ -53,11 +53,31 @@ func (f *FTL) Snapshot(w io.Writer) error {
 			return err
 		}
 	}
-	if err := binary.Write(bw, le, f.l2p); err != nil {
-		return err
+	// The mapping is streamed as int64 entries in fixed-size chunks
+	// regardless of the in-memory entry width, so compact (int32) and wide
+	// FTLs produce byte-identical snapshots and can restore each other's.
+	buf := make([]int64, 0, snapshotChunk)
+	for i := int64(0); i < f.l2p.len(); i++ {
+		buf = append(buf, f.l2p.at(i))
+		if len(buf) == snapshotChunk {
+			if err := binary.Write(bw, le, buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if err := binary.Write(bw, le, buf); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }
+
+// snapshotChunk is the mapping-stream buffer size in entries (32 KiB of
+// bytes): large enough to amortize binary.Write's reflection, small enough
+// that snapshotting a 64 GiB device does not double its mapping footprint.
+const snapshotChunk = 4096
 
 // Restore loads a snapshot written by Snapshot into f, which must be an FTL
 // over a NAND array with the same geometry and page states (typically the
@@ -119,36 +139,45 @@ func (f *FTL) Restore(r io.Reader) error {
 		}
 		freeBlocks[i] = int(v)
 	}
-	l2p := make([]int64, f.userPages)
-	if err := binary.Read(br, le, l2p); err != nil {
-		return fmt.Errorf("ftl: snapshot mapping: %w", err)
-	}
-
-	// Rebuild the reverse mapping and cross-check against device state.
-	total := int64(geo.TotalPages())
-	p2l := make([]int64, total)
-	for i := range p2l {
-		p2l[i] = unmapped
-	}
+	// Read the mapping stream (int64 entries, see Snapshot) into a fresh
+	// pageMap, rebuilding the reverse mapping and cross-checking against
+	// device state as entries arrive.
+	total := geo.TotalPages()
+	l2p := newPageMap(f.userPages, total)
+	p2l := newPageMap(total, total)
 	ppb := geo.PagesPerBlock
-	for lpn, ppn := range l2p {
-		if ppn == unmapped {
-			continue
+	buf := make([]int64, snapshotChunk)
+	for lpn := int64(0); lpn < f.userPages; {
+		n := int64(len(buf))
+		if rest := f.userPages - lpn; rest < n {
+			n = rest
 		}
-		if ppn < 0 || ppn >= total {
-			return fmt.Errorf("ftl: snapshot maps lpn %d to bad ppn %d", lpn, ppn)
+		chunk := buf[:n]
+		if err := binary.Read(br, le, chunk); err != nil {
+			return fmt.Errorf("ftl: snapshot mapping: %w", err)
 		}
-		if p2l[ppn] != unmapped {
-			return fmt.Errorf("ftl: snapshot maps lpns %d and %d to ppn %d", p2l[ppn], lpn, ppn)
+		for _, ppn := range chunk {
+			if ppn == unmapped {
+				lpn++
+				continue
+			}
+			if ppn < 0 || ppn >= total {
+				return fmt.Errorf("ftl: snapshot maps lpn %d to bad ppn %d", lpn, ppn)
+			}
+			if prev := p2l.at(ppn); prev != unmapped {
+				return fmt.Errorf("ftl: snapshot maps lpns %d and %d to ppn %d", prev, lpn, ppn)
+			}
+			st, err := f.dev.PageStateAt(nand.AddrOfPPN(ppn, ppb))
+			if err != nil {
+				return err
+			}
+			if st != nand.PageValid {
+				return fmt.Errorf("ftl: snapshot maps lpn %d to non-valid page %d (%v)", lpn, ppn, st)
+			}
+			l2p.set(lpn, ppn)
+			p2l.set(ppn, lpn)
+			lpn++
 		}
-		st, err := f.dev.PageStateAt(nand.AddrOfPPN(ppn, ppb))
-		if err != nil {
-			return err
-		}
-		if st != nand.PageValid {
-			return fmt.Errorf("ftl: snapshot maps lpn %d to non-valid page %d (%v)", lpn, ppn, st)
-		}
-		p2l[ppn] = int64(lpn)
 	}
 
 	f.l2p = l2p

@@ -2,6 +2,7 @@ package ftl
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -32,11 +33,11 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 	}
 
 	// Simulate a power cycle: wipe the logical state, keep the NAND image.
-	for i := range f.l2p {
-		f.l2p[i] = unmapped
+	for i := int64(0); i < f.l2p.len(); i++ {
+		f.l2p.set(i, unmapped)
 	}
-	for i := range f.p2l {
-		f.p2l[i] = unmapped
+	for i := int64(0); i < f.p2l.len(); i++ {
+		f.p2l.set(i, unmapped)
 	}
 	f.freeBlocks = nil
 
@@ -121,5 +122,47 @@ func TestRestoreRejectsDuplicateMappings(t *testing.T) {
 	_ = fresh
 	if err := f.Restore(bytes.NewReader(raw)); err == nil {
 		t.Error("aliased snapshot accepted")
+	}
+}
+
+// failAfterWriter errors once n bytes have been written, exercising every
+// error return on the snapshot encoding path (header, scalar fields, free
+// pool, mapping chunks).
+type failAfterWriter struct {
+	n   int
+	err error
+}
+
+var errBoom = errors.New("boom")
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	if len(p) > w.n {
+		p = p[:w.n]
+	}
+	w.n -= len(p)
+	if w.n == 0 {
+		return len(p), w.err
+	}
+	return len(p), nil
+}
+
+func TestSnapshotPropagatesWriteErrors(t *testing.T) {
+	f := dirtyFTL(t)
+	var full bytes.Buffer
+	if err := f.Snapshot(&full); err != nil {
+		t.Fatal(err)
+	}
+	// Fail at every section boundary: magic, version, a scalar field, the
+	// free pool, the first mapping chunk, and one byte short of the end.
+	// bufio only surfaces the error at a flush boundary, so the snapshot
+	// must fail for every cutoff — no cutoff may silently truncate.
+	for _, cut := range []int{0, 4, 8, 8 + 7*8, full.Len() / 2, full.Len() - 1} {
+		w := &failAfterWriter{n: cut, err: errBoom}
+		if err := f.Snapshot(w); err == nil {
+			t.Errorf("Snapshot with writer failing after %d bytes returned nil error", cut)
+		}
 	}
 }

@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGreedyWAF(t *testing.T) {
+	cases := []struct {
+		total, live int64
+		want        float64
+	}{
+		{100, 50, 1.0},        // ρ=1 → (1+1)/2 = 1
+		{107, 100, 7.642857},  // paper's 7% OP, full
+		{0, 0, 1},             // degenerate
+		{100, 100, 1},         // no spare
+		{100, 0, 1},           // nothing live
+		{200, 150, 1.0 + 2.0/3.0/2}, // ρ=1/3 → (4/3)/(2/3)=2 … checked below
+	}
+	for _, c := range cases[:5] {
+		if got := GreedyWAF(c.total, c.live); math.Abs(got-c.want) > 1e-5 {
+			t.Errorf("GreedyWAF(%d, %d) = %v, want %v", c.total, c.live, got, c.want)
+		}
+	}
+	if got := GreedyWAF(200, 150); math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("GreedyWAF(200, 150) = %v, want 2", got)
+	}
+}
+
+func TestMeanFieldWAF(t *testing.T) {
+	// Sf = 2: α = exp(-2(1-α)) → α ≈ 0.2032, WA ≈ 1.255.
+	if got := MeanFieldWAF(100, 50); math.Abs(got-1.255) > 0.005 {
+		t.Errorf("MeanFieldWAF(100, 50) = %v, want ≈1.255", got)
+	}
+	if got := MeanFieldWAF(100, 100); got != 1 {
+		t.Errorf("MeanFieldWAF with no spare = %v, want 1", got)
+	}
+	if got := MeanFieldWAF(0, 0); got != 1 {
+		t.Errorf("degenerate MeanFieldWAF = %v, want 1", got)
+	}
+	// Mean-field (random selection) must upper-bound greedy everywhere.
+	for _, live := range []int64{50, 75, 90, 100} {
+		total := int64(107)
+		if live >= total {
+			continue
+		}
+		g, m := GreedyWAF(total, live), MeanFieldWAF(total, live)
+		if m < g {
+			t.Errorf("live=%d: mean-field %v below greedy %v", live, m, g)
+		}
+	}
+}
+
+func TestTableInfoRendering(t *testing.T) {
+	tb := Table{Title: "T", Columns: []string{"a"}}
+	tb.AddRow("1")
+	tb.AddInfo("latency percentiles are streaming (%d samples)", 5)
+	s := tb.String()
+	if want := "note: latency percentiles are streaming (5 samples)\n"; !strings.Contains(s, want) {
+		t.Errorf("rendered table missing info note:\n%s", s)
+	}
+	if strings.Contains(s, "warning:") {
+		t.Errorf("info note rendered as warning:\n%s", s)
+	}
+}

@@ -50,6 +50,10 @@ type Results struct {
 	MeanLatency time.Duration
 	P99Latency  time.Duration
 	MaxLatency  time.Duration
+	// StreamingLatency reports that the latency distribution came from the
+	// constant-memory streaming recorder, so percentiles are bucket-accurate
+	// (≤ ~3% relative error) rather than exact order statistics.
+	StreamingLatency bool
 
 	// FGCInvocations counts foreground GC stalls; BGCCollections counts
 	// background victim collections.
@@ -238,6 +242,10 @@ type Table struct {
 	// normalization baseline); reporting tools treat their presence as a
 	// non-zero-exit condition.
 	Notes []string
+	// Info are informational notes rendered under the table (e.g. which
+	// latency recorder a run used); unlike Notes they do not signal a
+	// problem and reporting tools ignore them for exit status.
+	Info []string
 }
 
 // AddRow appends one row.
@@ -246,6 +254,11 @@ func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
 // AddNote appends a warning note.
 func (t *Table) AddNote(format string, args ...any) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// AddInfo appends an informational note.
+func (t *Table) AddInfo(format string, args ...any) {
+	t.Info = append(t.Info, fmt.Sprintf(format, args...))
 }
 
 // String renders the table. Column widths are measured in runes, not
@@ -289,6 +302,9 @@ func (t *Table) String() string {
 	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(&b, "warning: %s\n", n)
+	}
+	for _, n := range t.Info {
+		fmt.Fprintf(&b, "note: %s\n", n)
 	}
 	return b.String()
 }

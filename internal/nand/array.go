@@ -42,6 +42,34 @@ func (s PageState) String() string {
 	}
 }
 
+// stateBits packs page states at 2 bits per page (32 states per word).
+// At million-block scale this is the difference between one byte per page
+// and a quarter of one: a 64 GiB device's page states fit in ~4 MiB.
+type stateBits []uint64
+
+const (
+	stateBitsPerPage  = 2
+	statePagesPerWord = 32
+	stateMask         = uint64(0b11)
+)
+
+// newStateBits returns an all-PageFree state bitmap for n pages.
+func newStateBits(n int64) stateBits {
+	return make(stateBits, (n+statePagesPerWord-1)/statePagesPerWord)
+}
+
+// get returns the state of page i.
+func (s stateBits) get(i int64) PageState {
+	return PageState(s[i/statePagesPerWord] >> (uint(i%statePagesPerWord) * stateBitsPerPage) & stateMask)
+}
+
+// set writes the state of page i.
+func (s stateBits) set(i int64, st PageState) {
+	word := i / statePagesPerWord
+	shift := uint(i%statePagesPerWord) * stateBitsPerPage
+	s[word] = s[word]&^(stateMask<<shift) | uint64(st)<<shift
+}
+
 // PageAddr identifies a physical page by flat block index and in-block page
 // index.
 type PageAddr struct {
@@ -100,46 +128,90 @@ func (o Op) String() string {
 	}
 }
 
-// block is the per-erase-block state.
-type block struct {
-	pages      []PageState
-	data       []uint64 // payload tokens, for end-to-end integrity checks
-	writePtr   int      // next page index that may be programmed
-	valid      int      // count of PageValid pages
-	eraseCount int64
-	retired    bool
-}
-
 // Array is a timed NAND flash array. It enforces the physical constraints
 // real FTLs must respect: a page can be programmed only once between
 // erases, pages within a block are programmed in order, and invalid pages
 // are reclaimed only by erasing the whole block.
 //
+// Per-page and per-block metadata lives in flat parallel arrays rather than
+// per-block structs: page states pack to 2 bits each, and the payload-token
+// plane is allocated only when integrity tracking is wanted, so metadata
+// stays a few bytes per page at million-block scale.
+//
 // Array is not safe for concurrent use; the discrete-event simulator drives
 // it from a single goroutine.
 type Array struct {
-	geo       Geometry
-	timing    Timing
-	blocks    []block
+	geo     Geometry
+	timing  Timing
+	nblocks int
+	ppb     int64 // pages per block, widened once
+
+	states     stateBits
+	data       []uint64 // payload tokens; nil when integrity tracking is off
+	writePtr   []int32  // per block: next page index that may be programmed
+	valid      []int32  // per block: count of PageValid pages
+	eraseCount []int64  // per block
+	retired    []bool   // per block
+
 	stats     Stats
 	injector  FaultInjector
 	endurance int64 // erase limit per block; 0 = unlimited
 }
 
-// NewArray builds an erased array with the given geometry and timing.
+// NewArray builds an erased array with the given geometry and timing,
+// with per-page payload-token tracking enabled (the integrity-checking
+// default the tests and golden runs rely on).
 func NewArray(geo Geometry, timing Timing) (*Array, error) {
+	return newArray(geo, timing, true)
+}
+
+// NewBareArray builds an erased array without the payload-token plane:
+// ReadPage and PeekPage return zero tokens, and the 8 bytes per page the
+// tokens would occupy are never allocated. Large-scale runs that do not
+// verify payload integrity use this.
+func NewBareArray(geo Geometry, timing Timing) (*Array, error) {
+	return newArray(geo, timing, false)
+}
+
+func newArray(geo Geometry, timing Timing, payloads bool) (*Array, error) {
 	if err := geo.Validate(); err != nil {
 		return nil, err
 	}
 	if err := timing.Validate(); err != nil {
 		return nil, err
 	}
-	a := &Array{geo: geo, timing: timing, blocks: make([]block, geo.TotalBlocks())}
-	for i := range a.blocks {
-		a.blocks[i].pages = make([]PageState, geo.PagesPerBlock)
-		a.blocks[i].data = make([]uint64, geo.PagesPerBlock)
+	nblocks := geo.TotalBlocks()
+	a := &Array{
+		geo:        geo,
+		timing:     timing,
+		nblocks:    nblocks,
+		ppb:        int64(geo.PagesPerBlock),
+		states:     newStateBits(geo.TotalPages()),
+		writePtr:   make([]int32, nblocks),
+		valid:      make([]int32, nblocks),
+		eraseCount: make([]int64, nblocks),
+		retired:    make([]bool, nblocks),
+	}
+	if payloads {
+		a.data = make([]uint64, geo.TotalPages())
 	}
 	return a, nil
+}
+
+// PayloadTracking reports whether the array retains per-page payload tokens.
+func (a *Array) PayloadTracking() bool { return a.data != nil }
+
+// MetadataBytes returns the heap footprint of the array's per-page and
+// per-block metadata planes — the budget the memory gate tracks.
+func (a *Array) MetadataBytes() int64 {
+	n := int64(len(a.states))*8 + int64(len(a.data))*8
+	n += int64(a.nblocks) * (4 + 4 + 8 + 1) // writePtr, valid, eraseCount, retired
+	return n
+}
+
+// pageIndex returns the flat metadata index of addr.
+func (a *Array) pageIndex(addr PageAddr) int64 {
+	return int64(addr.Block)*a.ppb + int64(addr.Page)
 }
 
 // SetEnduranceLimit sets the per-block erase budget: erasing a block past
@@ -149,14 +221,14 @@ func (a *Array) SetEnduranceLimit(n int64) { a.endurance = n }
 
 // Retired reports whether a block has been retired by wear-out.
 func (a *Array) Retired(blockIdx int) bool {
-	return blockIdx >= 0 && blockIdx < len(a.blocks) && a.blocks[blockIdx].retired
+	return blockIdx >= 0 && blockIdx < a.nblocks && a.retired[blockIdx]
 }
 
 // RetiredBlocks counts worn-out blocks.
 func (a *Array) RetiredBlocks() int {
 	n := 0
-	for i := range a.blocks {
-		if a.blocks[i].retired {
+	for _, r := range a.retired {
+		if r {
 			n++
 		}
 	}
@@ -176,7 +248,7 @@ func (a *Array) Timing() Timing { return a.timing }
 func (a *Array) Stats() Stats { return a.stats }
 
 func (a *Array) checkAddr(addr PageAddr) error {
-	if addr.Block < 0 || addr.Block >= len(a.blocks) ||
+	if addr.Block < 0 || addr.Block >= a.nblocks ||
 		addr.Page < 0 || addr.Page >= a.geo.PagesPerBlock {
 		return fmt.Errorf("%w: block %d page %d", ErrBadAddress, addr.Block, addr.Page)
 	}
@@ -184,7 +256,7 @@ func (a *Array) checkAddr(addr PageAddr) error {
 }
 
 // ReadPage reads one page, returning its payload token and the device time
-// consumed.
+// consumed. Without payload tracking the token is always zero.
 func (a *Array) ReadPage(addr PageAddr) (uint64, time.Duration, error) {
 	if err := a.checkAddr(addr); err != nil {
 		return 0, 0, err
@@ -192,25 +264,34 @@ func (a *Array) ReadPage(addr PageAddr) (uint64, time.Duration, error) {
 	if a.injector != nil && a.injector.ShouldFail(OpRead, addr) {
 		return 0, 0, fmt.Errorf("%w: read %+v", ErrInjected, addr)
 	}
-	b := &a.blocks[addr.Block]
-	if b.pages[addr.Page] == PageFree {
+	pi := a.pageIndex(addr)
+	if a.states.get(pi) == PageFree {
 		return 0, 0, fmt.Errorf("%w: block %d page %d", ErrPageNotWritten, addr.Block, addr.Page)
 	}
 	a.stats.Reads++
 	d := a.timing.ReadCost()
 	a.stats.BusyTime += d
-	return b.data[addr.Page], d, nil
+	var tok uint64
+	if a.data != nil {
+		tok = a.data[pi]
+	}
+	return tok, d, nil
 }
 
 // PeekPage returns a page's payload token and state without consuming
 // device time or touching the operation counters — a verification aid for
-// consistency checks and tests, not part of the device datapath.
+// consistency checks and tests, not part of the device datapath. Without
+// payload tracking the token is always zero.
 func (a *Array) PeekPage(addr PageAddr) (uint64, PageState, error) {
 	if err := a.checkAddr(addr); err != nil {
 		return 0, PageFree, err
 	}
-	b := &a.blocks[addr.Block]
-	return b.data[addr.Page], b.pages[addr.Page], nil
+	pi := a.pageIndex(addr)
+	var tok uint64
+	if a.data != nil {
+		tok = a.data[pi]
+	}
+	return tok, a.states.get(pi), nil
 }
 
 // ProgramPage programs one page with a payload token, marking it valid,
@@ -223,20 +304,22 @@ func (a *Array) ProgramPage(addr PageAddr, data uint64) (time.Duration, error) {
 	if a.injector != nil && a.injector.ShouldFail(OpProgram, addr) {
 		return 0, fmt.Errorf("%w: program %+v", ErrInjected, addr)
 	}
-	b := &a.blocks[addr.Block]
-	if b.retired {
+	if a.retired[addr.Block] {
 		return 0, fmt.Errorf("%w: program on retired block %d", ErrWornOut, addr.Block)
 	}
-	if b.pages[addr.Page] != PageFree {
-		return 0, fmt.Errorf("%w: block %d page %d is %v", ErrPageNotFree, addr.Block, addr.Page, b.pages[addr.Page])
+	pi := a.pageIndex(addr)
+	if st := a.states.get(pi); st != PageFree {
+		return 0, fmt.Errorf("%w: block %d page %d is %v", ErrPageNotFree, addr.Block, addr.Page, st)
 	}
-	if addr.Page != b.writePtr {
-		return 0, fmt.Errorf("%w: block %d expects page %d, got %d", ErrOutOfOrderProgram, addr.Block, b.writePtr, addr.Page)
+	if addr.Page != int(a.writePtr[addr.Block]) {
+		return 0, fmt.Errorf("%w: block %d expects page %d, got %d", ErrOutOfOrderProgram, addr.Block, a.writePtr[addr.Block], addr.Page)
 	}
-	b.pages[addr.Page] = PageValid
-	b.data[addr.Page] = data
-	b.writePtr++
-	b.valid++
+	a.states.set(pi, PageValid)
+	if a.data != nil {
+		a.data[pi] = data
+	}
+	a.writePtr[addr.Block]++
+	a.valid[addr.Block]++
 	a.stats.Programs++
 	d := a.timing.ProgramCost()
 	a.stats.BusyTime += d
@@ -253,18 +336,18 @@ func (a *Array) SkipPage(addr PageAddr) error {
 	if err := a.checkAddr(addr); err != nil {
 		return err
 	}
-	b := &a.blocks[addr.Block]
-	if b.retired {
+	if a.retired[addr.Block] {
 		return fmt.Errorf("%w: skip on retired block %d", ErrWornOut, addr.Block)
 	}
-	if b.pages[addr.Page] != PageFree {
-		return fmt.Errorf("%w: block %d page %d is %v", ErrPageNotFree, addr.Block, addr.Page, b.pages[addr.Page])
+	pi := a.pageIndex(addr)
+	if st := a.states.get(pi); st != PageFree {
+		return fmt.Errorf("%w: block %d page %d is %v", ErrPageNotFree, addr.Block, addr.Page, st)
 	}
-	if addr.Page != b.writePtr {
-		return fmt.Errorf("%w: block %d expects page %d, got %d", ErrOutOfOrderProgram, addr.Block, b.writePtr, addr.Page)
+	if addr.Page != int(a.writePtr[addr.Block]) {
+		return fmt.Errorf("%w: block %d expects page %d, got %d", ErrOutOfOrderProgram, addr.Block, a.writePtr[addr.Block], addr.Page)
 	}
-	b.pages[addr.Page] = PageInvalid
-	b.writePtr++
+	a.states.set(pi, PageInvalid)
+	a.writePtr[addr.Block]++
 	return nil
 }
 
@@ -272,10 +355,10 @@ func (a *Array) SkipPage(addr PageAddr) error {
 // repeated program failures or a failed erase. Valid pages stay readable,
 // but the block can never be programmed or erased again.
 func (a *Array) RetireBlock(blockIdx int) error {
-	if blockIdx < 0 || blockIdx >= len(a.blocks) {
+	if blockIdx < 0 || blockIdx >= a.nblocks {
 		return fmt.Errorf("%w: block %d", ErrBadAddress, blockIdx)
 	}
-	a.blocks[blockIdx].retired = true
+	a.retired[blockIdx] = true
 	return nil
 }
 
@@ -286,38 +369,38 @@ func (a *Array) InvalidatePage(addr PageAddr) error {
 	if err := a.checkAddr(addr); err != nil {
 		return err
 	}
-	b := &a.blocks[addr.Block]
-	if b.pages[addr.Page] != PageValid {
-		return fmt.Errorf("nand: invalidating block %d page %d in state %v", addr.Block, addr.Page, b.pages[addr.Page])
+	pi := a.pageIndex(addr)
+	if st := a.states.get(pi); st != PageValid {
+		return fmt.Errorf("nand: invalidating block %d page %d in state %v", addr.Block, addr.Page, st)
 	}
-	b.pages[addr.Page] = PageInvalid
-	b.valid--
+	a.states.set(pi, PageInvalid)
+	a.valid[addr.Block]--
 	return nil
 }
 
 // EraseBlock erases a whole block, freeing every page, and returns the
 // device time consumed.
 func (a *Array) EraseBlock(blockIdx int) (time.Duration, error) {
-	if blockIdx < 0 || blockIdx >= len(a.blocks) {
+	if blockIdx < 0 || blockIdx >= a.nblocks {
 		return 0, fmt.Errorf("%w: block %d", ErrBadAddress, blockIdx)
 	}
 	if a.injector != nil && a.injector.ShouldFail(OpErase, PageAddr{Block: blockIdx}) {
 		return 0, fmt.Errorf("%w: erase block %d", ErrInjected, blockIdx)
 	}
-	b := &a.blocks[blockIdx]
-	if b.retired {
+	if a.retired[blockIdx] {
 		return 0, fmt.Errorf("%w: erase on retired block %d", ErrWornOut, blockIdx)
 	}
-	if a.endurance > 0 && b.eraseCount >= a.endurance {
-		b.retired = true
-		return 0, fmt.Errorf("%w: block %d at %d erases", ErrWornOut, blockIdx, b.eraseCount)
+	if a.endurance > 0 && a.eraseCount[blockIdx] >= a.endurance {
+		a.retired[blockIdx] = true
+		return 0, fmt.Errorf("%w: block %d at %d erases", ErrWornOut, blockIdx, a.eraseCount[blockIdx])
 	}
-	for i := range b.pages {
-		b.pages[i] = PageFree
+	base := int64(blockIdx) * a.ppb
+	for p := int64(0); p < a.ppb; p++ {
+		a.states.set(base+p, PageFree)
 	}
-	b.writePtr = 0
-	b.valid = 0
-	b.eraseCount++
+	a.writePtr[blockIdx] = 0
+	a.valid[blockIdx] = 0
+	a.eraseCount[blockIdx]++
 	a.stats.Erases++
 	d := a.timing.EraseBlock
 	a.stats.BusyTime += d
@@ -329,28 +412,27 @@ func (a *Array) PageStateAt(addr PageAddr) (PageState, error) {
 	if err := a.checkAddr(addr); err != nil {
 		return PageFree, err
 	}
-	return a.blocks[addr.Block].pages[addr.Page], nil
+	return a.states.get(a.pageIndex(addr)), nil
 }
 
 // ValidCount returns the number of valid pages in a block.
-func (a *Array) ValidCount(blockIdx int) int { return a.blocks[blockIdx].valid }
+func (a *Array) ValidCount(blockIdx int) int { return int(a.valid[blockIdx]) }
 
 // WritePtr returns the next programmable page index of a block
 // (PagesPerBlock when the block is fully written).
-func (a *Array) WritePtr(blockIdx int) int { return a.blocks[blockIdx].writePtr }
+func (a *Array) WritePtr(blockIdx int) int { return int(a.writePtr[blockIdx]) }
 
 // EraseCount returns how many times a block has been erased.
-func (a *Array) EraseCount(blockIdx int) int64 { return a.blocks[blockIdx].eraseCount }
+func (a *Array) EraseCount(blockIdx int) int64 { return a.eraseCount[blockIdx] }
 
 // WearStats returns the minimum, maximum and total erase counts across all
 // blocks — the inputs to wear-leveling decisions and lifetime accounting.
 func (a *Array) WearStats() (minErase, maxErase, total int64) {
-	if len(a.blocks) == 0 {
+	if a.nblocks == 0 {
 		return 0, 0, 0
 	}
-	minErase = a.blocks[0].eraseCount
-	for i := range a.blocks {
-		c := a.blocks[i].eraseCount
+	minErase = a.eraseCount[0]
+	for _, c := range a.eraseCount {
 		if c < minErase {
 			minErase = c
 		}

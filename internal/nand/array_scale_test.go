@@ -1,0 +1,105 @@
+package nand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestStateBitsPacking exercises the 2-bit state bitmap directly across word
+// boundaries and with a randomized differential sweep against a plain slice.
+func TestStateBitsPacking(t *testing.T) {
+	const n = 257 // crosses several 32-page words, not word-aligned
+	s := newStateBits(n)
+	for i := int64(0); i < n; i++ {
+		if got := s.get(i); got != PageFree {
+			t.Fatalf("fresh bitmap page %d = %v, want free", i, got)
+		}
+	}
+	shadow := make([]PageState, n)
+	rng := rand.New(rand.NewSource(42))
+	for step := 0; step < 4096; step++ {
+		i := int64(rng.Intn(n))
+		st := PageState(rng.Intn(3))
+		s.set(i, st)
+		shadow[i] = st
+		j := int64(rng.Intn(n))
+		if got := s.get(j); got != shadow[j] {
+			t.Fatalf("step %d: page %d = %v, want %v", step, j, got, shadow[j])
+		}
+	}
+}
+
+// TestBareArrayMatchesTrackedArray drives identical operation sequences
+// through a payload-tracking and a bare array: states, counters and errors
+// must agree everywhere; only the returned tokens differ (bare reads zero).
+func TestBareArrayMatchesTrackedArray(t *testing.T) {
+	geo := Geometry{Channels: 2, ChipsPerChannel: 1, BlocksPerChip: 4, PagesPerBlock: 8, PageSize: 4096}
+	full, err := NewArray(geo, DefaultTimingMLC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := NewBareArray(geo, DefaultTimingMLC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.PayloadTracking() || bare.PayloadTracking() {
+		t.Fatalf("PayloadTracking: full=%v bare=%v", full.PayloadTracking(), bare.PayloadTracking())
+	}
+
+	addr := PageAddr{Block: 3, Page: 0}
+	if _, err := full.ProgramPage(addr, 77); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bare.ProgramPage(addr, 77); err != nil {
+		t.Fatal(err)
+	}
+	tok, _, err := full.ReadPage(addr)
+	if err != nil || tok != 77 {
+		t.Fatalf("full read = (%d, %v), want (77, nil)", tok, err)
+	}
+	tok, _, err = bare.ReadPage(addr)
+	if err != nil || tok != 0 {
+		t.Fatalf("bare read = (%d, %v), want (0, nil)", tok, err)
+	}
+
+	// Same state machine on both: double program rejected, invalidate +
+	// erase cycle agrees.
+	if _, err := bare.ProgramPage(addr, 1); err == nil {
+		t.Fatal("bare array allowed re-program")
+	}
+	if err := bare.InvalidatePage(addr); err != nil {
+		t.Fatal(err)
+	}
+	if got := bare.ValidCount(addr.Block); got != 0 {
+		t.Fatalf("bare valid count = %d, want 0", got)
+	}
+	if _, err := bare.EraseBlock(addr.Block); err != nil {
+		t.Fatal(err)
+	}
+	st, err := bare.PageStateAt(addr)
+	if err != nil || st != PageFree {
+		t.Fatalf("bare state after erase = (%v, %v), want free", st, err)
+	}
+}
+
+// TestMetadataBytesBudget pins the per-page metadata budget: the bare array
+// must stay under 1 byte/page of per-page state, and payload tracking adds
+// exactly 8 bytes/page.
+func TestMetadataBytesBudget(t *testing.T) {
+	geo := Geometry{Channels: 4, ChipsPerChannel: 2, BlocksPerChip: 256, PagesPerBlock: 128, PageSize: 4096}
+	pages := geo.TotalPages()
+	bare, err := NewBareArray(geo, DefaultTimingMLC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := NewArray(geo, DefaultTimingMLC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bare.MetadataBytes(); got > pages {
+		t.Errorf("bare metadata %d bytes for %d pages — want < 1 byte/page", got, pages)
+	}
+	if got, want := full.MetadataBytes()-bare.MetadataBytes(), pages*8; got != want {
+		t.Errorf("payload plane costs %d bytes, want %d", got, want)
+	}
+}

@@ -9,7 +9,10 @@
 // erases — under a deterministic, configurable geometry.
 package nand
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Geometry describes the physical layout of a NAND array.
 //
@@ -43,7 +46,61 @@ func DefaultGeometry() Geometry {
 	}
 }
 
-// Validate reports whether every field of g is positive.
+// ScalePreset is a named device capacity for the scale experiments and CLIs:
+// the default geometry's block shape (128 × 4 KiB pages) with the chip and
+// block counts grown toward real device sizes.
+type ScalePreset struct {
+	// Name is the capacity label ("256MiB" … "64GiB").
+	Name string
+	// Geo is the preset geometry.
+	Geo Geometry
+}
+
+// ScalePresets returns the capacity grid of the scale experiments, from the
+// 256 MiB default up to a 64 GiB device (131072 blocks, ~16.8M pages).
+// PagesPerBlock and PageSize are held fixed so per-block GC costs stay
+// comparable while the block count scales 256×.
+func ScalePresets() []ScalePreset {
+	geo := func(channels, chips, blocks int) Geometry {
+		return Geometry{
+			Channels:        channels,
+			ChipsPerChannel: chips,
+			BlocksPerChip:   blocks,
+			PagesPerBlock:   128,
+			PageSize:        4096,
+		}
+	}
+	return []ScalePreset{
+		{"256MiB", geo(4, 1, 128)},
+		{"1GiB", geo(4, 1, 512)},
+		{"4GiB", geo(4, 2, 1024)},
+		{"16GiB", geo(8, 2, 2048)},
+		{"64GiB", geo(8, 4, 4096)},
+	}
+}
+
+// PresetByName returns the scale preset with the given capacity label.
+func PresetByName(name string) (ScalePreset, error) {
+	names := make([]string, 0, 8)
+	for _, p := range ScalePresets() {
+		if p.Name == name {
+			return p, nil
+		}
+		names = append(names, p.Name)
+	}
+	return ScalePreset{}, fmt.Errorf("nand: unknown geometry preset %q (valid: %v)", name, names)
+}
+
+// maxBlocks bounds TotalBlocks: block indices travel through int32 lanes in
+// the FTL's victim index and the packed block metadata, so a geometry whose
+// block count cannot be an int32 is rejected outright rather than silently
+// misindexed.
+const maxBlocks = math.MaxInt32
+
+// Validate reports whether every field of g is positive and the derived
+// totals are representable: TotalBlocks must fit an int32 and
+// TotalPages × PageSize must fit an int64. Without these checks an oversized
+// geometry poisons every downstream allocation with an overflowed size.
 func (g Geometry) Validate() error {
 	switch {
 	case g.Channels <= 0:
@@ -57,35 +114,60 @@ func (g Geometry) Validate() error {
 	case g.PageSize <= 0:
 		return fmt.Errorf("nand: geometry has page size %d", g.PageSize)
 	}
+	chips := int64(g.Channels) * int64(g.ChipsPerChannel)
+	if chips > maxBlocks {
+		return fmt.Errorf("nand: geometry has %d dies, limit %d", chips, int64(maxBlocks))
+	}
+	blocks := chips * int64(g.BlocksPerChip)
+	if blocks/chips != int64(g.BlocksPerChip) || blocks > maxBlocks {
+		return fmt.Errorf("nand: geometry has %d × %d blocks, limit %d",
+			chips, g.BlocksPerChip, int64(maxBlocks))
+	}
+	pages := blocks * int64(g.PagesPerBlock)
+	if pages/blocks != int64(g.PagesPerBlock) {
+		return fmt.Errorf("nand: geometry page count %d × %d overflows int64", blocks, g.PagesPerBlock)
+	}
+	if bytes := pages * int64(g.PageSize); bytes/pages != int64(g.PageSize) {
+		return fmt.Errorf("nand: geometry byte capacity %d × %d overflows int64", pages, g.PageSize)
+	}
 	return nil
 }
 
 // TotalChips returns the number of dies in the array.
 func (g Geometry) TotalChips() int { return g.Channels * g.ChipsPerChannel }
 
-// TotalBlocks returns the number of erase blocks in the array.
+// TotalBlocks returns the number of erase blocks in the array. Validate
+// guarantees the product fits (well inside) an int.
 func (g Geometry) TotalBlocks() int { return g.TotalChips() * g.BlocksPerChip }
 
-// TotalPages returns the number of program pages in the array.
-func (g Geometry) TotalPages() int { return g.TotalBlocks() * g.PagesPerBlock }
+// TotalPages returns the number of program pages in the array. The count is
+// int64: a validated geometry may hold more pages than a 32-bit int.
+func (g Geometry) TotalPages() int64 { return int64(g.TotalBlocks()) * int64(g.PagesPerBlock) }
 
 // BlockBytes returns the payload capacity of one erase block.
 func (g Geometry) BlockBytes() int64 { return int64(g.PagesPerBlock) * int64(g.PageSize) }
 
 // TotalBytes returns the raw payload capacity of the array.
-func (g Geometry) TotalBytes() int64 { return int64(g.TotalPages()) * int64(g.PageSize) }
+func (g Geometry) TotalBytes() int64 { return g.TotalPages() * int64(g.PageSize) }
 
 // Parallelism returns the number of flash operations the array can perform
 // concurrently: one per die.
 func (g Geometry) Parallelism() int { return g.TotalChips() }
 
-// PagesFor returns the number of pages needed to hold n bytes.
-func (g Geometry) PagesFor(n int64) int {
+// PagesFor returns the number of pages needed to hold n bytes. The count is
+// int64 — a byte volume near math.MaxInt64 must not truncate through a
+// 32-bit int the way the previous signature did.
+func (g Geometry) PagesFor(n int64) int64 {
 	if n <= 0 {
 		return 0
 	}
 	ps := int64(g.PageSize)
-	return int((n + ps - 1) / ps)
+	// (n + ps - 1) can overflow for n near MaxInt64; divide first.
+	pages := n / ps
+	if n%ps != 0 {
+		pages++
+	}
+	return pages
 }
 
 // ChannelOf returns the channel a flat block index belongs to. Blocks are

@@ -1,6 +1,7 @@
 package nand
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -19,7 +20,7 @@ func TestGeometryDerivedQuantities(t *testing.T) {
 	if got, want := g.TotalBlocks(), 64; got != want {
 		t.Errorf("TotalBlocks = %d, want %d", got, want)
 	}
-	if got, want := g.TotalPages(), 1024; got != want {
+	if got, want := g.TotalPages(), int64(1024); got != want {
 		t.Errorf("TotalPages = %d, want %d", got, want)
 	}
 	if got, want := g.BlockBytes(), int64(16*4096); got != want {
@@ -55,7 +56,7 @@ func TestPagesFor(t *testing.T) {
 	g := Geometry{Channels: 1, ChipsPerChannel: 1, BlocksPerChip: 1, PagesPerBlock: 1, PageSize: 4096}
 	cases := []struct {
 		bytes int64
-		want  int
+		want  int64
 	}{
 		{0, 0}, {-5, 0}, {1, 1}, {4096, 1}, {4097, 2}, {8192, 2}, {12288, 3},
 	}
@@ -63,6 +64,87 @@ func TestPagesFor(t *testing.T) {
 		if got := g.PagesFor(c.bytes); got != c.want {
 			t.Errorf("PagesFor(%d) = %d, want %d", c.bytes, got, c.want)
 		}
+	}
+}
+
+// Regression: PagesFor used to truncate its page count through int, and
+// its old (n + PageSize - 1) rounding overflowed for n near MaxInt64.
+func TestPagesForHugeVolumes(t *testing.T) {
+	g := Geometry{Channels: 1, ChipsPerChannel: 1, BlocksPerChip: 1, PagesPerBlock: 1, PageSize: 4096}
+	const maxI64 = int64(math.MaxInt64)
+	cases := []struct {
+		bytes int64
+		want  int64
+	}{
+		// 16 GiB: 4M pages — fits int64 but used to truncate on 32-bit ints.
+		{16 << 30, 4 << 20},
+		{(16 << 30) + 1, (4 << 20) + 1},
+		// Values near MaxInt64 must not overflow in the round-up.
+		{maxI64, maxI64/4096 + 1},
+		{maxI64 - maxI64%4096, maxI64 / 4096},
+	}
+	for _, c := range cases {
+		if got := g.PagesFor(c.bytes); got != c.want {
+			t.Errorf("PagesFor(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+// Regression: Validate used to accept geometries whose block/page/byte
+// products overflow, poisoning every downstream allocation size.
+func TestGeometryValidateRejectsOverflow(t *testing.T) {
+	cases := []struct {
+		name string
+		g    Geometry
+	}{
+		{"blocks exceed int32", Geometry{
+			Channels: 1 << 16, ChipsPerChannel: 1 << 8, BlocksPerChip: 1 << 12,
+			PagesPerBlock: 128, PageSize: 4096,
+		}},
+		{"block product overflows", Geometry{
+			Channels: math.MaxInt32, ChipsPerChannel: 2, BlocksPerChip: math.MaxInt32,
+			PagesPerBlock: 128, PageSize: 4096,
+		}},
+		{"page product overflows", Geometry{
+			Channels: 1 << 10, ChipsPerChannel: 1 << 10, BlocksPerChip: 1 << 10,
+			PagesPerBlock: math.MaxInt32, PageSize: 4096,
+		}},
+		{"byte capacity overflows", Geometry{
+			Channels: 1 << 10, ChipsPerChannel: 1 << 10, BlocksPerChip: 1 << 10,
+			PagesPerBlock: 1 << 10, PageSize: math.MaxInt32,
+		}},
+	}
+	for _, c := range cases {
+		if err := c.g.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", c.name, c.g)
+		}
+	}
+}
+
+func TestScalePresetsValidAndOrdered(t *testing.T) {
+	presets := ScalePresets()
+	if len(presets) == 0 {
+		t.Fatal("no scale presets")
+	}
+	prev := int64(0)
+	for _, p := range presets {
+		if err := p.Geo.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", p.Name, err)
+		}
+		if b := p.Geo.TotalBytes(); b <= prev {
+			t.Errorf("preset %s capacity %d not above previous %d", p.Name, b, prev)
+		} else {
+			prev = b
+		}
+	}
+	if got := presets[len(presets)-1].Geo.TotalPages(); got < 16<<20 {
+		t.Errorf("largest preset has %d pages, want ≥ 16M", got)
+	}
+	if _, err := PresetByName("64GiB"); err != nil {
+		t.Errorf("PresetByName(64GiB): %v", err)
+	}
+	if _, err := PresetByName("nope"); err == nil {
+		t.Error("PresetByName accepted unknown name")
 	}
 }
 

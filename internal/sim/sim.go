@@ -79,7 +79,7 @@ func DefaultConfig() Config {
 	ccfg.CapacityPages = 1 << 16 // 256 MiB of cache RAM at 4 KiB pages
 	ccfg.FlushRatio = 0.25
 	cfg := Config{FTL: fcfg, Cache: ccfg, DrainCache: true}
-	user := int64(float64(fcfg.Geometry.TotalPages()) / (1 + fcfg.OPRatio))
+	user := ftl.UserPagesFor(fcfg.Geometry.TotalPages(), fcfg.OPRatio)
 	cfg.PreconditionPages = user / 2
 	return cfg
 }
@@ -680,6 +680,7 @@ func (s *Simulator) results() metrics.Results {
 		MeanLatency:      s.lat.Mean(),
 		P99Latency:       s.lat.Percentile(99),
 		MaxLatency:       s.lat.Max(),
+		StreamingLatency: s.lat.Streaming(),
 		FGCInvocations:   st.FGCInvocations,
 		BGCCollections:   st.BGCCollections,
 		TrimmedPages:     st.Trims,

@@ -170,6 +170,14 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// StreamingLatencyThreshold is the request count past which a run's latency
+// recorder defaults to the constant-memory streaming histogram: the exact
+// recorder retains 8 bytes per request, so a multi-million-op run would
+// spend more memory on samples than on the FTL it measures. Runs under the
+// threshold — every golden and default run — keep exact percentiles;
+// callers can still force either mode via Config.StreamingLatency.
+const StreamingLatencyThreshold = 1_000_000
+
 // simConfig resolves the simulator configuration and working set.
 func (o Options) simConfig() (sim.Config, int64) {
 	var cfg sim.Config
@@ -178,7 +186,10 @@ func (o Options) simConfig() (sim.Config, int64) {
 	} else {
 		cfg = sim.DefaultConfig()
 	}
-	user := int64(float64(cfg.FTL.Geometry.TotalPages()) / (1 + cfg.FTL.OPRatio))
+	if !cfg.StreamingLatency && o.Ops >= StreamingLatencyThreshold {
+		cfg.StreamingLatency = true
+	}
+	user := ftl.UserPagesFor(cfg.FTL.Geometry.TotalPages(), cfg.FTL.OPRatio)
 	ws := o.WorkingSetPages
 	if ws == 0 {
 		ws = user / 2

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"jitgc/internal/ftl"
 	"jitgc/internal/sim"
 	"jitgc/internal/trace"
 )
@@ -90,7 +91,7 @@ func TestOptionsDefaults(t *testing.T) {
 		t.Errorf("defaults = %+v", o)
 	}
 	cfg, ws := o.simConfig()
-	user := int64(float64(cfg.FTL.Geometry.TotalPages()) / (1 + cfg.FTL.OPRatio))
+	user := ftl.UserPagesFor(cfg.FTL.Geometry.TotalPages(), cfg.FTL.OPRatio)
 	if ws != user/2 {
 		t.Errorf("working set = %d, want half of user %d", ws, user)
 	}
@@ -414,6 +415,9 @@ func TestExperimentsRunAtReducedScale(t *testing.T) {
 			if e.ID == "lifetime" {
 				t.Skip("wear-out replay takes ~30s; covered by TestRunUntilWearOut and paperbench")
 			}
+			if e.ID == "scale" {
+				t.Skip("capacity grid derives op counts from device size (minutes at 64 GiB); covered by TestScaleExperiment* and TestScaleTableRendering")
+			}
 			tables, err := e.Run(opt)
 			if err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
@@ -430,5 +434,30 @@ func TestExperimentsRunAtReducedScale(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestStreamingLatencyAutoThreshold pins the recorder-selection policy:
+// golden-scale runs keep exact percentiles, while runs past the sample
+// threshold default to the constant-memory streaming recorder (still
+// overridable by an explicit Config).
+func TestStreamingLatencyAutoThreshold(t *testing.T) {
+	cfgFor := func(o Options) sim.Config {
+		cfg, _ := o.withDefaults().simConfig()
+		return cfg
+	}
+	if cfgFor(Options{Ops: 4000}).StreamingLatency {
+		t.Error("golden-scale run switched to streaming latency")
+	}
+	if cfgFor(Options{}).StreamingLatency {
+		t.Error("default run switched to streaming latency")
+	}
+	if !cfgFor(Options{Ops: StreamingLatencyThreshold}).StreamingLatency {
+		t.Error("threshold-sized run kept the exact recorder")
+	}
+	explicit := sim.DefaultConfig()
+	explicit.StreamingLatency = true
+	if !cfgFor(Options{Ops: 100, Config: &explicit}).StreamingLatency {
+		t.Error("explicit streaming config was overridden")
 	}
 }
