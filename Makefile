@@ -10,7 +10,7 @@
 GO ?= go
 COVERAGE_BASELINE := $(shell cat ci/coverage-baseline.txt)
 
-.PHONY: ci build vet test test-race fuzz-regress fault-regress coverage-gate fuzz bench-run bench bench-gate bench-baseline bench-full bench-scale
+.PHONY: ci build vet test test-race fuzz-regress fault-regress multitenant-smoke coverage-gate fuzz bench-run bench bench-gate bench-baseline bench-full bench-scale
 
 # Tolerance band for the bytes-per-logical-page memory gate: the FTL's
 # metadata footprint (heap delta around construction, measured by
@@ -18,7 +18,7 @@ COVERAGE_BASELINE := $(shell cat ci/coverage-baseline.txt)
 # most 10% + 1 B/page past the checked-in baseline before CI fails.
 BYTES_PER_LPAGE_BAND := bytes/lpage=1.10,1.0
 
-ci: build vet test-race fuzz-regress fault-regress coverage-gate bench-gate
+ci: build vet test-race fuzz-regress fault-regress multitenant-smoke coverage-gate bench-gate
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,14 @@ fault-regress:
 		-run 'Fault|Degraded|Retire|ReadRetry|WriteSeq|ReclaimBackgroundPropagates|GCPairing|TracerEmitsSimulationEvents' \
 		./internal/nand/ ./internal/ftl/ ./internal/array/ ./internal/sim/
 
+# Multi-tenant open-loop smoke under the race detector: the engine, DRR
+# scheduler and arrival-process property/statistical tests, plus the
+# experiment's worker-count determinism contract. Isolated from test-race
+# so a multi-tenant regression is named in CI output.
+multitenant-smoke:
+	$(GO) test -race -count=1 -short ./internal/tenant/
+	$(GO) test -race -count=1 -short -run 'TestMultiTenantExpDeterministic' .
+
 # Fail if total statement coverage of internal/... falls below the
 # baseline recorded in ci/coverage-baseline.txt. Raise the baseline when
 # coverage improves; never lower it to make a red build green.
@@ -76,9 +84,11 @@ bench-run:
 		./internal/ftl/ | tee -a bench.out
 	$(GO) test -bench='FTLMemoryFootprint' -benchmem -benchtime=1x -run '^$$' \
 		./internal/ftl/ | tee -a bench.out
+	$(GO) test -bench='Dispatch|Arrival' -benchmem -benchtime=10000x -run '^$$' \
+		./internal/tenant/ | tee -a bench.out
 
 bench: bench-run
-	$(GO) run ./ci/benchjson -in bench.out -out BENCH_pr6.json
+	$(GO) run ./ci/benchjson -in bench.out -out BENCH_pr7.json
 
 # Scale artifact: the million-page memory-footprint measurement plus the
 # hot-path benchmarks at growing block counts, archived as BENCH_pr6.json.

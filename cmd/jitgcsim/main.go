@@ -7,6 +7,11 @@
 //
 // Policies: L-BGC, A-BGC, ADP-GC, JIT-GC, no-BGC, or fixed (with -factor,
 // C_resv = factor × C_OP).
+//
+// With -tenants N the run switches to the open-loop multi-tenant front end:
+// N tenants with seeded -arrival processes feed bounded queues, a
+// deficit-round-robin scheduler shares the device between QoS classes, and
+// the report scores per-tenant p99.9 latency against the -slo ladder.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"time"
 
 	"jitgc"
 	"jitgc/internal/ftl"
@@ -50,6 +56,10 @@ func main() {
 		faultR   = flag.Float64("fault-rate", 0, "per-operation NAND failure probability (0 disables fault injection; enables FTL recovery)")
 		faultS   = flag.Int64("fault-seed", 1, "fault model RNG seed, independent of -seed")
 		size     = flag.String("size", "", "device capacity preset (256MiB, 1GiB, 4GiB, 16GiB, 64GiB); default is the built-in 256MiB geometry")
+		tenants  = flag.Int("tenants", 0, "run the open-loop multi-tenant engine with this many tenants (0 = classic single-stream run)")
+		arrival  = flag.String("arrival", "poisson", "tenant arrival process (poisson, mmpp, diurnal); used with -tenants")
+		slo      = flag.Duration("slo", 0, "silver-class p99.9 SLO target (gold = slo/4, bronze = 5×slo); default 100ms; used with -tenants")
+		rate     = flag.Float64("rate", 0, "aggregate arrival rate in req/s across all tenants (0 = 120); used with -tenants")
 	)
 	flag.Parse()
 
@@ -113,6 +123,14 @@ func main() {
 		cfg.FTL.DisableIntegrity = preset.Geo.TotalPages() >= 1<<20
 		opt.Config = &cfg
 	}
+	if *tenants > 0 {
+		if *traceIn != "" || *devices > 1 {
+			log.Fatal("-tenants drives the single shared device with synthetic tenant workloads (no -trace, no -devices)")
+		}
+		runMultiTenant(*tenants, *arrival, *slo, *rate, spec, opt)
+		closeSink()
+		return
+	}
 	if *devices > 1 {
 		if *traceIn != "" {
 			log.Fatal("-devices > 1 supports synthetic benchmarks only (no -trace)")
@@ -166,6 +184,40 @@ func main() {
 			res.InjectedFaults, res.ProgramFaults, res.EraseFaults)
 		fmt.Printf("fault recovery       %d read retries, %d unrecoverable reads, %d blocks retired\n",
 			res.ReadRetries, res.UnrecoverableReads, res.RetiredBlocks)
+	}
+}
+
+// runMultiTenant runs the open-loop multi-tenant engine and prints the
+// merged record plus the per-class SLO scoreboard.
+func runMultiTenant(tenants int, arrival string, slo time.Duration, rate float64, spec jitgc.PolicySpec, opt jitgc.Options) {
+	tcfg := jitgc.TenantConfig{Tenants: tenants, Arrival: arrival, SLO: slo}
+	if rate > 0 {
+		tcfg.Rate = rate / float64(tenants)
+	}
+	res, err := jitgc.RunMultiTenant(spec, tcfg, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := res.Device
+	fmt.Printf("workload             %s (%d tenants, %s arrivals)\n", d.Workload, res.Tenants, arrival)
+	fmt.Printf("policy               %s\n", d.Policy)
+	fmt.Printf("arrivals             %d (%d admitted, %d dropped)\n", res.Arrivals, res.Admitted, res.Dropped)
+	fmt.Printf("completed            %d\n", res.Completed)
+	fmt.Printf("simulated time       %v\n", res.Span.Round(1e6))
+	fmt.Printf("WAF                  %.3f\n", d.WAF)
+	fmt.Printf("foreground GC        %d invocations\n", d.FGCInvocations)
+	fmt.Printf("background GC        %d collections\n", d.BGCCollections)
+	fmt.Printf("latency p50/p99/p99.9 %v / %v / %v (includes queue wait)\n",
+		time.Duration(res.Hist.Quantile(0.50)).Round(1e3),
+		time.Duration(res.Hist.Quantile(0.99)).Round(1e3),
+		time.Duration(res.Hist.Quantile(0.999)).Round(1e3))
+	fmt.Printf("peak queue depth     %d\n", res.PeakQueueDepth)
+	fmt.Printf("SLO violations       %d requests\n", res.Violations)
+	fmt.Printf("SLO verdict          %d/%d tenants met their p99.9 target\n", res.SLOMet, res.SLOTenants)
+	for _, c := range res.PerClass {
+		fmt.Printf("  %-7s w=%d SLO=%-8v %d/%d tenants met, p99.9 %v, %d dropped\n",
+			c.Class.Name, c.Class.Weight, c.Class.SLO, c.SLOMet, c.Tenants,
+			time.Duration(c.Hist.Quantile(0.999)).Round(1e3), c.Dropped)
 	}
 }
 

@@ -129,3 +129,37 @@ func TestArrayExpWorkersDeterministic(t *testing.T) {
 			diffLines(serial, parallel))
 	}
 }
+
+// TestMultiTenantExpDeterministic asserts the multi-tenant experiment
+// renders byte-identically across worker counts and across repeated runs at
+// a fixed seed. The engine superposes thousands of seeded arrival and
+// workload streams over one stepped simulator; any hidden shared state — a
+// global RNG, map-iteration ordering, cross-cell aliasing — shows up here
+// as a one-cell diff.
+func TestMultiTenantExpDeterministic(t *testing.T) {
+	e, err := ExperimentByID("multitenant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := 2000
+	if testing.Short() {
+		ops = 500
+	}
+	render := func(workers int) string {
+		tables, err := e.Run(Options{Seed: 1, Ops: ops, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return renderExperiment(e, tables)
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Errorf("multitenant experiment differs between Workers=1 and Workers=8:\n%s",
+			diffLines(serial, parallel))
+	}
+	if again := render(8); again != parallel {
+		t.Errorf("multitenant experiment differs between repeated Workers=8 runs:\n%s",
+			diffLines(parallel, again))
+	}
+}

@@ -578,6 +578,16 @@ func (s *Simulator) TickApply(t time.Duration, dec core.Decision) {
 // cache, the driver's drain condition.
 func (s *Simulator) DirtyPages() int { return s.cache.DirtyPageCount() }
 
+// DeviceFreeAt returns the time the device timeline is booked through —
+// when the device next falls idle. It is the decoupling point an open-loop
+// driver needs: Run's closed-loop host issues a request and implicitly
+// blocks on its completion, whereas an open-loop front end (the
+// multi-tenant engine) lets arrivals accumulate in its own queues while the
+// device is stalled and dispatches the next scheduled request exactly at
+// this instant, so queue wait — not think-time suppression — absorbs a
+// mistimed collection.
+func (s *Simulator) DeviceFreeAt() time.Duration { return s.deviceFreeAt }
+
 // Results assembles the run results accumulated so far. For stepped
 // simulators the driver calls it once after the final event.
 func (s *Simulator) Results() metrics.Results { return s.results() }

@@ -52,6 +52,10 @@ const (
 	// EvDeviceDegraded is an array member whose FTL died: the member stops
 	// serving and its stripe extents fail fast from this point on.
 	EvDeviceDegraded EventType = "device_degraded"
+	// EvTenantSummary is one tenant's end-of-run verdict in a multi-tenant
+	// run: completions, drops, SLO violations, and p99.9 latency against
+	// its QoS class.
+	EvTenantSummary EventType = "tenant_summary"
 )
 
 // Event is one trace record. It is a flat union over all event types: only
@@ -99,6 +103,13 @@ type Event struct {
 	Attempts  int    `json:"attempts,omitempty"`  // read retries spent
 	Recovered bool   `json:"recovered,omitempty"` // read retry succeeded
 	Reason    string `json:"reason,omitempty"`    // retirement / degradation cause
+
+	// Tenant fields (EvTenantSummary). Latency carries the tenant's p99.9;
+	// Requests its completion count.
+	Tenant     int    `json:"tenant,omitempty"`
+	Class      string `json:"class,omitempty"`
+	Dropped    int64  `json:"dropped,omitempty"`
+	Violations int64  `json:"violations,omitempty"`
 
 	// Snapshot fields (EvSnapshot).
 	DirtyPages     int     `json:"dirty_pages,omitempty"`

@@ -137,6 +137,18 @@ func (t *Tracer) Token(now time.Duration, dev int, action string, reclaimBytes, 
 		Action: action, ReclaimBytes: reclaimBytes, FreeBytes: freeBytes})
 }
 
+// TenantSummary emits one tenant's end-of-run verdict in a multi-tenant
+// run: p99.9 latency rides the Latency field, completions the Requests
+// field.
+func (t *Tracer) TenantSummary(now time.Duration, tenant int, class string, completed, dropped, violations int64, p999 time.Duration) {
+	if t == nil {
+		return
+	}
+	t.sink.Emit(Event{Type: EvTenantSummary, T: now, Dev: t.dev,
+		Tenant: tenant, Class: class, Requests: completed,
+		Dropped: dropped, Violations: violations, Latency: p999})
+}
+
 // Snapshot emits the periodic per-device stats snapshot.
 func (t *Tracer) Snapshot(now time.Duration, freeBytes int64, dirtyPages int, waf float64, fgc, bgc, requests int64) {
 	if t == nil {

@@ -1,0 +1,57 @@
+package tenant
+
+import (
+	"testing"
+	"time"
+
+	"jitgc/internal/trace"
+)
+
+var benchSink time.Duration
+
+// BenchmarkDispatch measures the steady-state DRR hot path: one dispatch
+// plus one re-admission against 64 backlogged tenants across the three
+// default weight tiers. The scheduler is ring-buffer based and must not
+// allocate per operation — the allocs/op pin lives in ci/bench-baseline.json
+// and the bench-gate fails on any regression.
+func BenchmarkDispatch(b *testing.B) {
+	const (
+		tenants = 64
+		depth   = 16
+	)
+	weights := make([]int64, tenants)
+	for i := range weights {
+		weights[i] = DefaultClasses()[i%3].Weight
+	}
+	s := newScheduler(weights, 8, depth)
+	for t := 0; t < tenants; t++ {
+		for i := 0; i < depth; i++ {
+			s.admit(t, pending{req: trace.Request{Pages: 1 + i%4}})
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, p, _ := s.dispatch()
+		s.admit(t, p) // refill: the backlog never drains, queues never grow
+	}
+}
+
+// BenchmarkArrival measures one inter-arrival draw per process kind. The
+// processes run once per synthesized request across potentially millions of
+// requests per experiment cell, so they too are pinned allocation-free.
+func BenchmarkArrival(b *testing.B) {
+	for _, kind := range []ArrivalKind{Poisson, MMPP, Diurnal} {
+		b.Run(string(kind), func(b *testing.B) {
+			p, err := newProcess(kind, 100, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchSink = p.Next()
+			}
+		})
+	}
+}

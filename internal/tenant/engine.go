@@ -1,0 +1,361 @@
+package tenant
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"jitgc/internal/metrics"
+	"jitgc/internal/sim"
+	"jitgc/internal/telemetry"
+	"jitgc/internal/trace"
+	"jitgc/internal/workload"
+)
+
+// TenantResult is one tenant's verdict.
+type TenantResult struct {
+	// Tenant is the tenant index; Class its QoS tier.
+	Tenant int
+	Class  Class
+	// Arrivals is what the arrival process offered; Dropped what admission
+	// shed on a full queue; Completed what the device finished.
+	Arrivals, Dropped, Completed int64
+	// Violations counts completed requests slower than the class SLO.
+	Violations int64
+	// P999 is the tenant's p99.9 completion latency (queue wait included);
+	// SLOMet reports P999 ≤ Class.SLO.
+	P999   time.Duration
+	SLOMet bool
+}
+
+// ClassResult aggregates one QoS tier across its tenants.
+type ClassResult struct {
+	Class   Class
+	Tenants int
+	// SLOMet counts tenants of this class whose p99.9 met the class SLO.
+	SLOMet                       int
+	Arrivals, Dropped, Completed int64
+	Violations                   int64
+	// Hist is the class's merged latency histogram.
+	Hist *telemetry.LogHist
+}
+
+// Results summarizes one multi-tenant run.
+type Results struct {
+	// Device is the shared device's own run record (WAF, GC counters,
+	// device-observed latency — which excludes queue wait).
+	Device metrics.Results
+	// Tenants is the tenant count; PerTenant and PerClass the verdicts.
+	Tenants   int
+	PerTenant []TenantResult
+	PerClass  []ClassResult
+	// Flow conservation over the whole run: Arrivals = Admitted + Dropped
+	// and, because the run drains every queue, Admitted = Completed.
+	Arrivals, Admitted, Dropped, Completed int64
+	// Violations counts SLO-violating completions across all tenants;
+	// SLOMet of SLOTenants tenants met their p99.9 SLO.
+	Violations         int64
+	SLOMet, SLOTenants int
+	// PeakQueueDepth is the high-water mark of any single tenant queue.
+	PeakQueueDepth int
+	// Hist is the merged all-tenant completion-latency histogram
+	// (p99/p99.9/p99.99 across every request of the run).
+	Hist *telemetry.LogHist
+	// Span is the end-to-end simulated duration of the run, including any
+	// trailing device overrun.
+	Span time.Duration
+}
+
+// Engine drives one open-loop multi-tenant run: per-tenant arrival
+// processes feed bounded queues, the DRR scheduler dispatches the backlog
+// to a stepped device simulator, and per-tenant streaming histograms score
+// completions against class SLOs.
+//
+// The event loop is the open-loop decoupling the closed-loop simulator
+// cannot express: arrivals are pure queue insertions that never touch the
+// device, so they keep accumulating while the device is stalled behind a
+// non-preemptible collection; dispatches happen when the device frees up,
+// at the scheduler's choosing, and a request's latency spans queue wait
+// plus device service. Everything runs on one simulated clock in one
+// goroutine — determinism is by construction.
+type Engine struct {
+	cfg   Config
+	sim   *sim.Simulator
+	sched *scheduler
+	tr    *telemetry.Tracer
+
+	streams [][]trace.Request // per-tenant, absolute arrival times, sorted
+	nextIdx []int             // next unoffered request per tenant
+
+	// Min-heap of tenants with arrivals left, keyed by next arrival time
+	// (ties broken by tenant index, so interleavings are deterministic).
+	heap []int32
+
+	class      []int // tenant → class index
+	hists      []*telemetry.LogHist
+	arrivalsBy []int64
+	dropsBy    []int64
+	doneBy     []int64
+	violBy     []int64
+}
+
+// New builds an engine: it validates the configuration, synthesizes every
+// tenant's request stream (workload profile + arrival process), and
+// constructs the shared device with a policy from factory.
+func New(cfg Config, factory sim.PolicyFactory) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := sim.New(cfg.Device, factory)
+	if err != nil {
+		return nil, err
+	}
+
+	n := cfg.Tenants
+	e := &Engine{
+		cfg:        cfg,
+		sim:        s,
+		tr:         cfg.Device.Tracer,
+		streams:    make([][]trace.Request, n),
+		nextIdx:    make([]int, n),
+		heap:       make([]int32, 0, n),
+		class:      make([]int, n),
+		hists:      make([]*telemetry.LogHist, n),
+		arrivalsBy: make([]int64, n),
+		dropsBy:    make([]int64, n),
+		doneBy:     make([]int64, n),
+		violBy:     make([]int64, n),
+	}
+
+	// Each tenant owns a disjoint slice of the logical space, runs one of
+	// the six paper benchmarks as its workload profile, and replaces the
+	// generator's closed-loop think times with its own arrival process.
+	slice := cfg.WorkingSetPages / int64(n)
+	gens := workload.All()
+	weights := make([]int64, n)
+	for t := 0; t < n; t++ {
+		e.class[t] = t % len(cfg.Classes)
+		weights[t] = cfg.Classes[e.class[t]].Weight
+		e.hists[t] = telemetry.NewLogHist()
+
+		gen := gens[t%len(gens)]
+		reqs, err := gen.Generate(workload.Params{
+			Seed:            cfg.Seed + 1000003*int64(t+1),
+			Ops:             cfg.OpsPerTenant,
+			WorkingSetPages: slice,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("tenant %d (%s): %w", t, gen.Name(), err)
+		}
+		proc, err := newProcess(cfg.Arrival, cfg.Rate, cfg.Seed+2*int64(n)+int64(t))
+		if err != nil {
+			return nil, err
+		}
+		base := int64(t) * slice
+		var at time.Duration
+		for i := range reqs {
+			at += proc.Next()
+			reqs[i].Time = at
+			reqs[i].LPN += base
+		}
+		e.streams[t] = reqs
+		e.heapPush(int32(t))
+	}
+	e.sched = newScheduler(weights, cfg.Quantum, cfg.QueueDepth)
+	return e, nil
+}
+
+// Sim returns the shared device simulator, for inspection in tests.
+func (e *Engine) Sim() *sim.Simulator { return e.sim }
+
+// nextArrival is the heap key: tenant t's next unoffered arrival time.
+func (e *Engine) nextArrival(t int32) time.Duration {
+	return e.streams[t][e.nextIdx[t]].Time
+}
+
+func (e *Engine) heapLess(a, b int32) bool {
+	ta, tb := e.nextArrival(a), e.nextArrival(b)
+	if ta != tb {
+		return ta < tb
+	}
+	return a < b
+}
+
+func (e *Engine) heapPush(t int32) {
+	e.heap = append(e.heap, t)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.heapLess(e.heap[i], e.heap[parent]) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+func (e *Engine) heapPop() int32 {
+	top := e.heap[0]
+	last := len(e.heap) - 1
+	e.heap[0] = e.heap[last]
+	e.heap = e.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < last && e.heapLess(e.heap[l], e.heap[min]) {
+			min = l
+		}
+		if r < last && e.heapLess(e.heap[r], e.heap[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		e.heap[i], e.heap[min] = e.heap[min], e.heap[i]
+		i = min
+	}
+	return top
+}
+
+// Run executes the engine to completion: every arrival offered, every
+// queue drained, and — when the device config drains its cache — every
+// buffered write flushed.
+func (e *Engine) Run() (Results, error) {
+	if err := e.sim.Begin(); err != nil {
+		return Results{}, err
+	}
+	const never = time.Duration(math.MaxInt64)
+	period := e.cfg.Device.Cache.FlusherPeriod
+	nextTick := period
+	var now time.Duration
+
+	for {
+		// The three candidate events. Ties resolve arrival → dispatch →
+		// tick, matching the closed-loop simulator's request-before-tick
+		// convention.
+		tArr := never
+		if len(e.heap) > 0 {
+			tArr = e.nextArrival(e.heap[0])
+		}
+		tDisp := never
+		if e.sched.backlogged() {
+			tDisp = e.sim.DeviceFreeAt()
+			if tDisp < now {
+				tDisp = now
+			}
+		}
+		if tArr == never && tDisp == never {
+			if !e.cfg.Device.DrainCache || e.sim.DirtyPages() == 0 {
+				break
+			}
+		}
+
+		switch {
+		case tArr <= tDisp && tArr <= nextTick:
+			// Arrival: a pure queue insertion — the device is untouched,
+			// so load keeps arriving while it is stalled.
+			t := e.heapPop()
+			r := e.streams[t][e.nextIdx[t]]
+			e.nextIdx[t]++
+			e.arrivalsBy[t]++
+			if !e.sched.admit(int(t), pending{arrival: r.Time, req: r}) {
+				e.dropsBy[t]++
+			}
+			if e.nextIdx[t] < len(e.streams[t]) {
+				e.heapPush(t)
+			}
+			now = r.Time
+
+		case tDisp <= nextTick:
+			// Dispatch: the scheduler's DRR pick is issued at the instant
+			// the device frees up; latency runs from queue arrival.
+			t, p, _ := e.sched.dispatch()
+			req := p.req
+			req.Time = tDisp
+			comp, err := e.sim.StepRequest(req)
+			if err != nil {
+				return Results{}, fmt.Errorf("tenant %d: %w", t, err)
+			}
+			lat := comp - p.arrival
+			e.hists[t].Add(int64(lat))
+			e.doneBy[t]++
+			if lat > e.cfg.Classes[e.class[t]].SLO {
+				e.violBy[t]++
+			}
+			now = tDisp
+
+		default:
+			// Write-back tick: flusher, then the BGC policy's interval
+			// decision.
+			if err := e.sim.TickFlush(nextTick); err != nil {
+				return Results{}, err
+			}
+			e.sim.TickApply(nextTick, e.sim.TickDecide(nextTick))
+			now = nextTick
+			nextTick += period
+		}
+	}
+	return e.results(), nil
+}
+
+// results assembles the run verdicts.
+func (e *Engine) results() Results {
+	res := Results{
+		Device:         e.sim.Results(),
+		Tenants:        e.cfg.Tenants,
+		PerTenant:      make([]TenantResult, e.cfg.Tenants),
+		PerClass:       make([]ClassResult, len(e.cfg.Classes)),
+		Admitted:       e.sched.admitted,
+		Dropped:        e.sched.dropped,
+		Completed:      e.sched.served,
+		PeakQueueDepth: e.sched.peakDepth,
+		SLOTenants:     e.cfg.Tenants,
+		Hist:           telemetry.NewLogHist(),
+	}
+	for ci := range res.PerClass {
+		res.PerClass[ci] = ClassResult{
+			Class: e.cfg.Classes[ci],
+			Hist:  telemetry.NewLogHist(),
+		}
+	}
+	for t := 0; t < e.cfg.Tenants; t++ {
+		ci := e.class[t]
+		cl := e.cfg.Classes[ci]
+		p999 := time.Duration(e.hists[t].Quantile(0.999))
+		tr := TenantResult{
+			Tenant:     t,
+			Class:      cl,
+			Arrivals:   e.arrivalsBy[t],
+			Dropped:    e.dropsBy[t],
+			Completed:  e.doneBy[t],
+			Violations: e.violBy[t],
+			P999:       p999,
+			SLOMet:     p999 <= cl.SLO,
+		}
+		res.PerTenant[t] = tr
+		res.Arrivals += tr.Arrivals
+		res.Violations += tr.Violations
+		if tr.SLOMet {
+			res.SLOMet++
+		}
+		res.Hist.Merge(e.hists[t])
+
+		c := &res.PerClass[ci]
+		c.Tenants++
+		c.Arrivals += tr.Arrivals
+		c.Dropped += tr.Dropped
+		c.Completed += tr.Completed
+		c.Violations += tr.Violations
+		if tr.SLOMet {
+			c.SLOMet++
+		}
+		c.Hist.Merge(e.hists[t])
+
+		e.tr.TenantSummary(res.Device.SimTime, t, cl.Name,
+			tr.Completed, tr.Dropped, tr.Violations, p999)
+	}
+	res.Span = res.Device.SimTime
+	return res
+}

@@ -1,0 +1,162 @@
+package tenant
+
+import (
+	"testing"
+	"time"
+
+	"jitgc/internal/core"
+	"jitgc/internal/ftl"
+	"jitgc/internal/nand"
+	"jitgc/internal/pagecache"
+	"jitgc/internal/sim"
+)
+
+// tinyDevice builds a small but GC-capable shared device: 32 blocks × 16
+// pages, 1/3 OP, fast flusher timing so short runs cross many write-back
+// intervals.
+func tinyDevice() sim.Config {
+	fcfg := ftl.Config{
+		Geometry: nand.Geometry{
+			Channels: 2, ChipsPerChannel: 1, BlocksPerChip: 16,
+			PagesPerBlock: 16, PageSize: 4096,
+		},
+		Timing:           nand.DefaultTimingMLC(),
+		OPRatio:          0.34,
+		FreeBlockReserve: 2,
+		Selector:         ftl.Greedy{},
+	}
+	ccfg := pagecache.Config{
+		PageSize:      4096,
+		CapacityPages: 4096,
+		FlusherPeriod: 100 * time.Millisecond,
+		Expire:        600 * time.Millisecond,
+		FlushRatio:    0.8,
+	}
+	return sim.Config{FTL: fcfg, Cache: ccfg, DrainCache: true}
+}
+
+func lazyFactory(env *sim.Env) (core.Policy, error) { return core.NewLazyBGC(env.OPBytes()), nil }
+
+func tinyEngineConfig() Config {
+	return Config{
+		Tenants:         12,
+		OpsPerTenant:    40,
+		Arrival:         MMPP,
+		Rate:            30, // per tenant: hot enough to backlog the tiny device
+		QueueDepth:      8,
+		WorkingSetPages: 240,
+		Seed:            1,
+		Device:          tinyDevice(),
+	}
+}
+
+// TestEngineConservation runs a small hot multi-tenant workload end to end
+// and checks the flow-conservation ledger: every synthesized arrival is
+// offered, every offered arrival is admitted or dropped, and every admitted
+// request completes (the run drains all queues before finishing). Per-tenant
+// and per-class breakdowns must sum to the totals.
+func TestEngineConservation(t *testing.T) {
+	cfg := tinyEngineConfig()
+	eng, err := New(cfg, lazyFactory)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	wantArrivals := int64(cfg.Tenants * cfg.OpsPerTenant)
+	if res.Arrivals != wantArrivals {
+		t.Errorf("arrivals %d, want %d", res.Arrivals, wantArrivals)
+	}
+	if res.Arrivals != res.Admitted+res.Dropped {
+		t.Errorf("arrivals %d ≠ admitted %d + dropped %d", res.Arrivals, res.Admitted, res.Dropped)
+	}
+	if res.Completed != res.Admitted {
+		t.Errorf("completed %d ≠ admitted %d after full drain", res.Completed, res.Admitted)
+	}
+	var byTenant, byClass, violTenant int64
+	for _, tr := range res.PerTenant {
+		byTenant += tr.Completed
+		violTenant += tr.Violations
+		if tr.Arrivals != tr.Completed+tr.Dropped {
+			t.Errorf("tenant %d: arrivals %d ≠ completed %d + dropped %d",
+				tr.Tenant, tr.Arrivals, tr.Completed, tr.Dropped)
+		}
+	}
+	for _, c := range res.PerClass {
+		byClass += c.Completed
+	}
+	if byTenant != res.Completed || byClass != res.Completed {
+		t.Errorf("per-tenant sum %d / per-class sum %d ≠ total completed %d",
+			byTenant, byClass, res.Completed)
+	}
+	if violTenant != res.Violations {
+		t.Errorf("per-tenant violations %d ≠ total %d", violTenant, res.Violations)
+	}
+	if got := int64(res.Hist.Count()); got != res.Completed {
+		t.Errorf("merged histogram holds %d samples, want %d", got, res.Completed)
+	}
+	if res.PeakQueueDepth < 1 || res.PeakQueueDepth > cfg.QueueDepth {
+		t.Errorf("peak queue depth %d outside [1, %d]", res.PeakQueueDepth, cfg.QueueDepth)
+	}
+	if res.Span <= 0 {
+		t.Errorf("non-positive span %v", res.Span)
+	}
+}
+
+// TestEngineDeterministic runs the same configuration twice and requires
+// identical results: the engine must be a pure function of its seed.
+func TestEngineDeterministic(t *testing.T) {
+	run := func() Results {
+		eng, err := New(tinyEngineConfig(), lazyFactory)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Span != b.Span || a.Dropped != b.Dropped || a.Violations != b.Violations ||
+		a.Completed != b.Completed || a.SLOMet != b.SLOMet ||
+		a.Hist.Quantile(0.999) != b.Hist.Quantile(0.999) ||
+		a.Device.WAF != b.Device.WAF {
+		t.Errorf("repeated runs differ:\n  a: span %v dropped %d viol %d p999 %v WAF %v\n  b: span %v dropped %d viol %d p999 %v WAF %v",
+			a.Span, a.Dropped, a.Violations, time.Duration(a.Hist.Quantile(0.999)), a.Device.WAF,
+			b.Span, b.Dropped, b.Violations, time.Duration(b.Hist.Quantile(0.999)), b.Device.WAF)
+	}
+	for i := range a.PerTenant {
+		if a.PerTenant[i] != b.PerTenant[i] {
+			t.Errorf("tenant %d differs between runs: %+v vs %+v", i, a.PerTenant[i], b.PerTenant[i])
+			break
+		}
+	}
+}
+
+// TestEngineLatencyIncludesQueueWait pins the open-loop measurement
+// contract: a request's latency runs from its queue arrival, so under a
+// backlog the observed tail must exceed anything the device alone reports.
+func TestEngineLatencyIncludesQueueWait(t *testing.T) {
+	cfg := tinyEngineConfig()
+	cfg.Rate = 300 // far beyond the tiny device's drain rate
+	eng, err := New(cfg, lazyFactory)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.PeakQueueDepth < cfg.QueueDepth {
+		t.Fatalf("overload never filled a queue (peak %d of %d) — test premise broken",
+			res.PeakQueueDepth, cfg.QueueDepth)
+	}
+	open := time.Duration(res.Hist.Quantile(0.999))
+	device := res.Device.P99Latency
+	if open <= device {
+		t.Errorf("open-loop p99.9 %v ≤ device-observed p99 %v: queue wait not counted", open, device)
+	}
+}
