@@ -1,0 +1,105 @@
+package jitgc
+
+import (
+	"bytes"
+	"testing"
+
+	"jitgc/internal/telemetry"
+	"jitgc/internal/telemetry/binlog"
+)
+
+// roundTripStream pushes a recorded JSONL event stream through the binary
+// converter both ways and fails unless the round trip reproduces the
+// original bytes exactly.
+func roundTripStream(t *testing.T, jsonl []byte, events int64) {
+	t.Helper()
+	var bin bytes.Buffer
+	n, err := binlog.ToBinary(&bin, bytes.NewReader(jsonl), binlog.Options{})
+	if err != nil {
+		t.Fatalf("JSONL -> binlog: %v", err)
+	}
+	if n != events {
+		t.Fatalf("converted %d events, sink wrote %d", n, events)
+	}
+	var back bytes.Buffer
+	if _, err := binlog.ToJSONL(&back, bytes.NewReader(bin.Bytes())); err != nil {
+		t.Fatalf("binlog -> JSONL: %v", err)
+	}
+	if !bytes.Equal(jsonl, back.Bytes()) {
+		t.Fatalf("round trip not byte-identical for %d events (%d bytes vs %d bytes)",
+			n, len(jsonl), back.Len())
+	}
+	if bin.Len() >= len(jsonl) {
+		t.Errorf("binary stream (%d bytes) not smaller than JSONL (%d bytes)", bin.Len(), len(jsonl))
+	}
+}
+
+// TestExperimentEventStreamsRoundTrip drives every golden experiment with
+// a live tracer and round-trips the resulting JSONL event stream through
+// the binary converter. The golden sweep locks down the tables; this
+// locks down the event streams — every event type and field combination
+// the experiments actually emit must survive the columnar format without
+// loss. Scale is excluded exactly as in the golden sweep (it has no
+// golden), and lifetime — whose nine wear-out cells would dominate the
+// whole suite — is covered by TestLifetimeEventStreamRoundTrip instead.
+func TestExperimentEventStreamsRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment serially; skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("single-goroutine fidelity sweep; the binlog package tests already run under race")
+	}
+	opt := Options{Seed: 1, Ops: 2000, Workers: 1}
+	for _, e := range Experiments() {
+		t.Run(e.ID, func(t *testing.T) {
+			switch e.ID {
+			case "scale":
+				t.Skip("no golden: scale reports wall-clock ns/write; its event vocabulary is covered by the other experiments")
+			case "lifetime":
+				t.Skip("covered by TestLifetimeEventStreamRoundTrip (one wear-out cell instead of nine)")
+			}
+			var jsonl bytes.Buffer
+			sink := telemetry.NewJSONLSink(&jsonl)
+			expOpt := opt
+			expOpt.Tracer = telemetry.New(sink)
+			if _, err := e.Run(expOpt); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if err := sink.Close(); err != nil {
+				t.Fatalf("close sink: %v", err)
+			}
+			if sink.Count() == 0 {
+				t.Skipf("%s emits no events at this scale", e.ID)
+			}
+			roundTripStream(t, jsonl.Bytes(), sink.Count())
+		})
+	}
+}
+
+// TestLifetimeEventStreamRoundTrip round-trips the wear-out event stream
+// (erase-budget exhaustion, block retirement, the full GC cadence of a
+// device driven to death) through the binary converter. One grid cell
+// stands in for the lifetime experiment's nine: the cells differ only in
+// benchmark and policy, not event vocabulary, and a single wear-out
+// replay already emits a multi-million-event stream.
+func TestLifetimeEventStreamRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wear-out replay; skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("wear-out replay takes minutes under the race detector")
+	}
+	var jsonl bytes.Buffer
+	sink := telemetry.NewJSONLSink(&jsonl)
+	opt := Options{Seed: 1, Ops: 30000, Workers: 1, Tracer: telemetry.New(sink)}
+	if _, err := RunUntilWearOut("YCSB", JIT(), 25, opt); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("close sink: %v", err)
+	}
+	if sink.Count() == 0 {
+		t.Fatal("wear-out replay emitted no events")
+	}
+	roundTripStream(t, jsonl.Bytes(), sink.Count())
+}

@@ -14,7 +14,20 @@
 // allocs/op) are archived in the JSON under "metrics". They are gated only
 // when named by a repeatable -metric unit=ratio,slack flag — e.g.
 // `-metric bytes/lpage=1.10,1.0` fails the build when the per-logical-page
-// metadata footprint grows 10% past the baseline.
+// metadata footprint grows 10% past the baseline. A repeatable
+// -min-metric unit=value flag gates a custom unit against an absolute
+// floor instead of the baseline — e.g. `-min-metric size-x=10` fails when
+// any benchmark reports size-x below 10, or when no benchmark reports it
+// at all (deleting the measuring benchmark must not green the gate).
+//
+// Runs produced with `go test -count=N` repeat each benchmark name; the
+// parser aggregates repeats into one Result whose headline numbers are the
+// per-metric means and whose "samples" array keeps the raw values. With
+// -compare the tool prints a benchstat-style table against the baseline
+// instead of gating: per-metric old/new means, delta, and a two-sided
+// Mann–Whitney U p-value (delta is shown as ~ when p > 0.05 or when either
+// side has too few samples to resolve significance). -compare is a report,
+// not a gate: it always exits 0.
 //
 // Usage:
 //
@@ -22,6 +35,8 @@
 //	go run ./ci/benchjson -in bench.out -gate -baseline ci/bench-baseline.json
 //	go run ./ci/benchjson -in bench.out -gate -baseline ci/bench-baseline.json -update-baseline
 //	go run ./ci/benchjson -in bench.out -gate -baseline ci/bench-baseline.json -metric bytes/lpage=1.10,1.0
+//	go run ./ci/benchjson -in bench.out -gate -baseline ci/bench-baseline.json -min-metric size-x=10
+//	go test -bench=. -count=8 . | go run ./ci/benchjson -compare -baseline ci/bench-baseline.json
 package main
 
 import (
@@ -31,7 +46,9 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -45,6 +62,10 @@ type Result struct {
 	AllocsOp   float64 `json:"allocs_per_op,omitempty"`
 	// Metrics holds custom b.ReportMetric series (unit → value).
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Samples holds the raw per-repeat values (unit → values) when the
+	// input ran with -count > 1. The headline fields above are then the
+	// per-unit means; -compare consumes the samples for p-values.
+	Samples map[string][]float64 `json:"samples,omitempty"`
 }
 
 func main() {
@@ -64,6 +85,11 @@ func main() {
 	metrics := metricBands{}
 	flag.Var(metrics, "metric", "gate a custom b.ReportMetric unit as unit=ratio,slack "+
 		"(e.g. -metric bytes/lpage=1.10,1.0); repeatable")
+	mins := minBounds{}
+	flag.Var(mins, "min-metric", "gate: fail when any benchmark reports this custom unit below "+
+		"the absolute floor, as unit=value (e.g. -min-metric size-x=10); repeatable")
+	compareM := flag.Bool("compare", false, "print a benchstat-style comparison against -baseline "+
+		"(Mann–Whitney U p-values; needs -count>1 samples on both sides) and exit 0")
 	flag.Parse()
 
 	r := io.Reader(os.Stdin)
@@ -82,6 +108,19 @@ func main() {
 	}
 	if len(results) == 0 {
 		log.Fatal("no benchmark lines found in input")
+	}
+	results = aggregate(results)
+
+	if *compareM {
+		if *baseline == "" {
+			log.Fatal("-compare requires -baseline")
+		}
+		base, err := readBaseline(*baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeComparison(os.Stdout, base, results)
+		return
 	}
 
 	if *gate {
@@ -106,6 +145,7 @@ func main() {
 			metrics: metrics,
 		}
 		failures, notes := compare(base, results, tol)
+		failures = append(failures, checkMins(results, mins)...)
 		for _, n := range notes {
 			fmt.Fprintf(os.Stderr, "benchjson: note: %s\n", n)
 		}
@@ -177,6 +217,63 @@ func (m metricBands) Set(s string) error {
 	}
 	m[unit] = band{ratio, slack}
 	return nil
+}
+
+// minBounds maps a custom b.ReportMetric unit to an absolute floor the
+// current run must meet, baseline-free. It implements flag.Value so
+// -min-metric is repeatable.
+type minBounds map[string]float64
+
+func (m minBounds) String() string {
+	var parts []string
+	for unit, v := range m {
+		parts = append(parts, fmt.Sprintf("%s=%g", unit, v))
+	}
+	return strings.Join(parts, " ")
+}
+
+func (m minBounds) Set(s string) error {
+	unit, valStr, ok := strings.Cut(s, "=")
+	if !ok || unit == "" {
+		return fmt.Errorf("want unit=value, got %q", s)
+	}
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return fmt.Errorf("value in %q: %v", s, err)
+	}
+	m[unit] = v
+	return nil
+}
+
+// checkMins enforces the -min-metric floors: every benchmark reporting a
+// gated unit must meet its floor, and each gated unit must be reported by
+// at least one benchmark (so deleting the measuring benchmark cannot turn
+// the gate green).
+func checkMins(cur []Result, mins minBounds) (failures []string) {
+	units := make([]string, 0, len(mins))
+	for unit := range mins {
+		units = append(units, unit)
+	}
+	sort.Strings(units)
+	for _, unit := range units {
+		floor := mins[unit]
+		reported := false
+		for _, c := range cur {
+			v, ok := c.Metrics[unit]
+			if !ok {
+				continue
+			}
+			reported = true
+			if v < floor {
+				failures = append(failures, fmt.Sprintf("%s: %s %.6g below required minimum %.6g",
+					c.Name, unit, v, floor))
+			}
+		}
+		if !reported {
+			failures = append(failures, fmt.Sprintf("no benchmark reports gated metric %s (floor %.6g)", unit, floor))
+		}
+	}
+	return failures
 }
 
 // tolerances groups the per-metric bands. metrics gates custom units from
@@ -252,6 +349,218 @@ func writeJSON(path string, results []Result) error {
 		return err
 	}
 	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// aggregate merges repeated benchmark names (go test -count=N) into one
+// Result per name: headline fields become per-unit means and the raw
+// repeats are kept under Samples. Singletons pass through untouched, so
+// count=1 runs produce the same JSON as before.
+func aggregate(results []Result) []Result {
+	index := make(map[string]int, len(results))
+	var out []Result
+	for _, r := range results {
+		i, seen := index[r.Name]
+		if !seen {
+			index[r.Name] = len(out)
+			out = append(out, r)
+			continue
+		}
+		a := &out[i]
+		if a.Samples == nil {
+			a.Samples = map[string][]float64{
+				"ns/op":     {a.NsPerOp},
+				"B/op":      {a.BytesPerOp},
+				"allocs/op": {a.AllocsOp},
+			}
+			for unit, v := range a.Metrics {
+				a.Samples[unit] = []float64{v}
+			}
+		}
+		a.Iterations += r.Iterations
+		a.Samples["ns/op"] = append(a.Samples["ns/op"], r.NsPerOp)
+		a.Samples["B/op"] = append(a.Samples["B/op"], r.BytesPerOp)
+		a.Samples["allocs/op"] = append(a.Samples["allocs/op"], r.AllocsOp)
+		for unit, v := range r.Metrics {
+			a.Samples[unit] = append(a.Samples[unit], v)
+		}
+		a.NsPerOp = mean(a.Samples["ns/op"])
+		a.BytesPerOp = mean(a.Samples["B/op"])
+		a.AllocsOp = mean(a.Samples["allocs/op"])
+		for unit := range a.Metrics {
+			a.Metrics[unit] = mean(a.Samples[unit])
+		}
+	}
+	return out
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// samplesOf returns the raw repeats for one unit, falling back to the
+// headline value as a single sample for count=1 runs and old baselines.
+func samplesOf(r Result, unit string) []float64 {
+	if s, ok := r.Samples[unit]; ok && len(s) > 0 {
+		return s
+	}
+	switch unit {
+	case "ns/op":
+		return []float64{r.NsPerOp}
+	case "B/op":
+		return []float64{r.BytesPerOp}
+	case "allocs/op":
+		return []float64{r.AllocsOp}
+	}
+	if v, ok := r.Metrics[unit]; ok {
+		return []float64{v}
+	}
+	return nil
+}
+
+// writeComparison prints a benchstat-style table per metric unit: old and
+// new means, relative delta, and a two-sided Mann–Whitney U p-value. A
+// delta is only asserted when p ≤ 0.05; otherwise the row shows ~
+// (statistically indistinguishable, or too few samples to tell).
+func writeComparison(w io.Writer, base, cur []Result) {
+	baseByName := make(map[string]Result, len(base))
+	for _, b := range base {
+		baseByName[b.Name] = b
+	}
+
+	// Stable unit order: the standard trio first, then custom units sorted.
+	units := []string{"ns/op", "B/op", "allocs/op"}
+	custom := map[string]bool{}
+	for _, rs := range [][]Result{base, cur} {
+		for _, r := range rs {
+			for unit := range r.Metrics {
+				custom[unit] = true
+			}
+		}
+	}
+	var customUnits []string
+	for unit := range custom {
+		customUnits = append(customUnits, unit)
+	}
+	sort.Strings(customUnits)
+	units = append(units, customUnits...)
+
+	for _, unit := range units {
+		type row struct {
+			name               string
+			oldMean, newMean   float64
+			delta, p           float64
+			nOld, nNew         int
+			significant, valid bool
+		}
+		var rows []row
+		for _, c := range cur {
+			b, ok := baseByName[c.Name]
+			if !ok {
+				continue
+			}
+			olds, news := samplesOf(b, unit), samplesOf(c, unit)
+			if len(olds) == 0 || len(news) == 0 {
+				continue
+			}
+			om, nm := mean(olds), mean(news)
+			if unit != "ns/op" && om == 0 && nm == 0 {
+				continue // unit not meaningful for this benchmark
+			}
+			r := row{name: c.Name, oldMean: om, newMean: nm, nOld: len(olds), nNew: len(news), valid: true}
+			if om != 0 {
+				r.delta = (nm - om) / om * 100
+			}
+			r.p = mannWhitneyU(olds, news)
+			r.significant = !math.IsNaN(r.p) && r.p <= 0.05
+			rows = append(rows, r)
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-44s %14s %14s %9s %9s\n", "name ("+unit+")", "old", "new", "delta", "p")
+		for _, r := range rows {
+			delta := "~"
+			if r.significant {
+				delta = fmt.Sprintf("%+.2f%%", r.delta)
+			}
+			p := "n/a"
+			if !math.IsNaN(r.p) {
+				p = fmt.Sprintf("%.3f", r.p)
+			}
+			fmt.Fprintf(w, "%-44s %14.6g %14.6g %9s %9s\n", r.name, r.oldMean, r.newMean, delta, p)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// mannWhitneyU returns the two-sided p-value of the Mann–Whitney U test
+// (normal approximation with tie correction and continuity correction)
+// that x and y are drawn from the same distribution. It returns NaN when
+// either sample is too small for the approximation to mean anything
+// (n < 4, where even a perfect separation cannot reach p ≤ 0.05), and 1
+// when every value is tied.
+func mannWhitneyU(x, y []float64) float64 {
+	n1, n2 := len(x), len(y)
+	if n1 < 4 || n2 < 4 {
+		return math.NaN()
+	}
+	type obs struct {
+		v     float64
+		fromX bool
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, v := range x {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range y {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Midranks with tie groups; accumulate the tie correction term Σ(t³−t).
+	n := n1 + n2
+	var rankSumX, tieTerm float64
+	for i := 0; i < n; {
+		j := i
+		for j < n && all[j].v == all[i].v {
+			j++
+		}
+		t := float64(j - i)
+		rank := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			if all[k].fromX {
+				rankSumX += rank
+			}
+		}
+		tieTerm += t*t*t - t
+		i = j
+	}
+
+	u := rankSumX - float64(n1)*float64(n1+1)/2
+	muU := float64(n1) * float64(n2) / 2
+	nf := float64(n)
+	variance := float64(n1) * float64(n2) / 12 * (nf + 1 - tieTerm/(nf*(nf-1)))
+	if variance <= 0 {
+		return 1 // all values tied: no evidence of any difference
+	}
+	z := u - muU
+	switch { // continuity correction toward the mean
+	case z > 0.5:
+		z -= 0.5
+	case z < -0.5:
+		z += 0.5
+	default:
+		z = 0
+	}
+	z /= math.Sqrt(variance)
+	return math.Erfc(math.Abs(z) / math.Sqrt2) // 2 × upper tail of N(0,1)
 }
 
 // parse extracts Benchmark lines of the form

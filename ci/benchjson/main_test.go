@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -114,6 +115,128 @@ func TestCompareMissingAndNew(t *testing.T) {
 	}
 	if len(notes) != 1 || !strings.Contains(notes[0], "not in baseline") {
 		t.Errorf("new benchmark not noted: %v", notes)
+	}
+}
+
+// TestCheckMins pins the -min-metric semantics: below-floor values fail,
+// at-floor values pass, and a gated unit that no benchmark reports is
+// itself a failure.
+func TestCheckMins(t *testing.T) {
+	cur := []Result{
+		{Name: "BenchmarkBinlogVsJSONL", Metrics: map[string]float64{"size-x": 10.7, "speed-x": 5.9}},
+		{Name: "BenchmarkOther", NsPerOp: 5},
+	}
+	if failures := checkMins(cur, minBounds{"size-x": 10, "speed-x": 5}); len(failures) != 0 {
+		t.Errorf("passing run failed: %v", failures)
+	}
+	failures := checkMins(cur, minBounds{"size-x": 11})
+	if len(failures) != 1 || !strings.Contains(failures[0], "size-x") ||
+		!strings.Contains(failures[0], "below required minimum") {
+		t.Errorf("below-floor value not failed: %v", failures)
+	}
+	failures = checkMins(cur, minBounds{"waf-x": 2})
+	if len(failures) != 1 || !strings.Contains(failures[0], "no benchmark reports") {
+		t.Errorf("unreported gated unit not failed: %v", failures)
+	}
+}
+
+func TestMinBoundsSet(t *testing.T) {
+	m := minBounds{}
+	if err := m.Set("size-x=10"); err != nil {
+		t.Fatal(err)
+	}
+	if m["size-x"] != 10 {
+		t.Errorf("parsed floor = %v", m["size-x"])
+	}
+	for _, bad := range []string{"size-x", "=10", "size-x=ten"} {
+		if err := m.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}
+
+// TestAggregateRepeats pins the -count>1 handling: repeats of one name
+// collapse into one Result with mean headline values and raw samples,
+// while singletons keep their original sample-free JSON shape.
+func TestAggregateRepeats(t *testing.T) {
+	in := []Result{
+		{Name: "BenchmarkA", Iterations: 10, NsPerOp: 100, BytesPerOp: 8, AllocsOp: 1,
+			Metrics: map[string]float64{"size-x": 10}},
+		{Name: "BenchmarkSingle", Iterations: 3, NsPerOp: 7},
+		{Name: "BenchmarkA", Iterations: 20, NsPerOp: 200, BytesPerOp: 8, AllocsOp: 1,
+			Metrics: map[string]float64{"size-x": 12}},
+	}
+	out := aggregate(in)
+	if len(out) != 2 {
+		t.Fatalf("aggregated to %d results, want 2", len(out))
+	}
+	a := out[0]
+	if a.Name != "BenchmarkA" || a.Iterations != 30 || a.NsPerOp != 150 ||
+		a.BytesPerOp != 8 || a.AllocsOp != 1 || a.Metrics["size-x"] != 11 {
+		t.Errorf("aggregate headline = %+v", a)
+	}
+	if got := a.Samples["ns/op"]; len(got) != 2 || got[0] != 100 || got[1] != 200 {
+		t.Errorf("ns/op samples = %v", got)
+	}
+	if got := a.Samples["size-x"]; len(got) != 2 || got[0] != 10 || got[1] != 12 {
+		t.Errorf("size-x samples = %v", got)
+	}
+	if out[1].Samples != nil {
+		t.Errorf("singleton grew samples: %+v", out[1])
+	}
+}
+
+// TestMannWhitneyU sanity-checks the p-value at the points that matter for
+// the compare report: clearly separated samples are significant, identical
+// samples are not, and undersized samples return NaN.
+func TestMannWhitneyU(t *testing.T) {
+	low := []float64{10, 11, 12, 13, 11.5, 10.5, 12.5, 11.2}
+	high := []float64{20, 21, 22, 23, 21.5, 20.5, 22.5, 21.2}
+	if p := mannWhitneyU(low, high); !(p <= 0.05) {
+		t.Errorf("separated samples: p = %v, want ≤ 0.05", p)
+	}
+	if p := mannWhitneyU(low, low); !(p > 0.05) {
+		t.Errorf("identical samples: p = %v, want > 0.05", p)
+	}
+	tied := []float64{5, 5, 5, 5, 5}
+	if p := mannWhitneyU(tied, tied); p != 1 {
+		t.Errorf("all-tied samples: p = %v, want 1", p)
+	}
+	if p := mannWhitneyU([]float64{1, 2, 3}, high); !math.IsNaN(p) {
+		t.Errorf("undersized sample: p = %v, want NaN", p)
+	}
+	// Symmetry: argument order must not change the verdict.
+	if p1, p2 := mannWhitneyU(low, high), mannWhitneyU(high, low); math.Abs(p1-p2) > 1e-12 {
+		t.Errorf("asymmetric p-values: %v vs %v", p1, p2)
+	}
+}
+
+// TestWriteComparison exercises the benchstat-style report end to end:
+// significant rows get a signed delta, insignificant or undersampled rows
+// show ~, and benchmarks absent from the baseline are skipped.
+func TestWriteComparison(t *testing.T) {
+	base := []Result{
+		{Name: "BenchmarkFast", NsPerOp: 100,
+			Samples: map[string][]float64{"ns/op": {99, 100, 101, 100, 99.5, 100.5, 100.2, 99.8}}},
+		{Name: "BenchmarkSingleShot", NsPerOp: 50},
+	}
+	cur := []Result{
+		{Name: "BenchmarkFast", NsPerOp: 80,
+			Samples: map[string][]float64{"ns/op": {79, 80, 81, 80, 79.5, 80.5, 80.2, 79.8}}},
+		{Name: "BenchmarkSingleShot", NsPerOp: 49},
+		{Name: "BenchmarkNew", NsPerOp: 1},
+	}
+	var buf strings.Builder
+	writeComparison(&buf, base, cur)
+	out := buf.String()
+	if !strings.Contains(out, "BenchmarkFast") || !strings.Contains(out, "-20.00%") {
+		t.Errorf("significant improvement not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "BenchmarkSingleShot") || !strings.Contains(out, "n/a") {
+		t.Errorf("single-sample row should show p=n/a:\n%s", out)
+	}
+	if strings.Contains(out, "BenchmarkNew") {
+		t.Errorf("benchmark missing from baseline should be skipped:\n%s", out)
 	}
 }
 

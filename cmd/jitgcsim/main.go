@@ -15,6 +15,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"log"
@@ -30,6 +31,7 @@ import (
 	"jitgc/internal/nand"
 	"jitgc/internal/sim"
 	"jitgc/internal/telemetry"
+	"jitgc/internal/telemetry/binlog"
 	"jitgc/internal/trace"
 )
 
@@ -46,12 +48,12 @@ func main() {
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent runs for grid-style callers (a single simulation uses one)")
 		noSIP    = flag.Bool("no-sip", false, "disable SIP victim filtering (JIT-GC only)")
 		timeline = flag.String("timeline", "", "write per-interval state samples to this CSV file")
-		traceIn  = flag.String("trace", "", "replay this trace file instead of a synthetic benchmark (jitgc text format, or MSR CSV with -msr)")
+		traceIn  = flag.String("trace", "", "replay this trace file instead of a synthetic benchmark (jitgc text or binlog format, or MSR CSV with -msr)")
 		msr      = flag.Bool("msr", false, "parse -trace as an MSR-Cambridge CSV block trace")
 		devices  = flag.Int("devices", 1, "number of SSDs in a striped array (1 = single-device simulation)")
 		stripe   = flag.Int64("stripe", 64, "array striping granularity in logical pages")
 		coord    = flag.String("coord", "independent", "array GC coordination mode (independent, coordinated)")
-		events   = flag.String("trace-events", "", "stream structured simulation events to this JSONL file")
+		events   = flag.String("trace-events", "", "stream structured simulation events to this file (JSONL, or columnar binlog if it ends in .jgb)")
 		pprofA   = flag.String("pprof", "", "serve pprof and expvar debug endpoints on this address (e.g. localhost:6060)")
 		faultR   = flag.Float64("fault-rate", 0, "per-operation NAND failure probability (0 disables fault injection; enables FTL recovery)")
 		faultS   = flag.Int64("fault-seed", 1, "fault model RNG seed, independent of -seed")
@@ -87,14 +89,21 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "debug: pprof and expvar at http://%s/debug/pprof/\n", addr)
 	}
-	var sink *telemetry.JSONLSink
+	var sink interface {
+		telemetry.Sink
+		Count() int64
+	}
 	var tracer *telemetry.Tracer
 	if *events != "" {
 		f, err := os.Create(*events)
 		if err != nil {
 			log.Fatal(err)
 		}
-		sink = telemetry.NewJSONLSink(f)
+		if strings.HasSuffix(*events, ".jgb") {
+			sink = binlog.NewBinSink(f, binlog.Options{})
+		} else {
+			sink = telemetry.NewJSONLSink(f)
+		}
 		tracer = telemetry.New(sink)
 	}
 	closeSink := func() {
@@ -326,7 +335,13 @@ func replayTraceFile(path string, msr bool, spec jitgc.PolicySpec, timelinePath 
 	if msr {
 		reqs, err = trace.DecodeMSR(f, trace.MSROptions{Disk: -1, MaxLPN: user})
 	} else {
-		reqs, err = trace.Decode(f)
+		br := bufio.NewReaderSize(f, 1<<16)
+		prefix, _ := br.Peek(len(binlog.Magic))
+		if binlog.IsBinary(prefix) {
+			reqs, err = binlog.DecodeRequests(br)
+		} else {
+			reqs, err = trace.Decode(br)
+		}
 	}
 	if err != nil {
 		return jitgc.Results{}, err

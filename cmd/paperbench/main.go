@@ -25,6 +25,7 @@ import (
 
 	"jitgc"
 	"jitgc/internal/telemetry"
+	"jitgc/internal/telemetry/binlog"
 )
 
 func main() {
@@ -37,7 +38,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "workload generation seed")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation runs per experiment grid")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
-		evDir   = flag.String("trace-events-dir", "", "write one JSONL event stream per experiment into this directory")
+		evDir   = flag.String("trace-events-dir", "", "write one event stream per experiment into this directory")
+		evBin   = flag.Bool("trace-events-binary", false, "write event streams as columnar binlog (<id>.jgb) instead of JSONL")
 		pprofA  = flag.String("pprof", "", "serve pprof and expvar debug endpoints on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
@@ -82,16 +84,27 @@ func main() {
 	opt := jitgc.Options{Seed: *seed, Ops: *ops, Workers: *workers}
 	var warnings int
 	for _, e := range exps {
-		// Each experiment gets its own JSONL stream; the grid cells of one
+		// Each experiment gets its own event stream; the grid cells of one
 		// experiment run concurrently and interleave into the shared sink.
 		expOpt := opt
-		var sink *telemetry.JSONLSink
+		var sink interface {
+			telemetry.Sink
+			Count() int64
+		}
 		if *evDir != "" {
-			f, err := os.Create(filepath.Join(*evDir, e.ID+".jsonl"))
+			ext := ".jsonl"
+			if *evBin {
+				ext = ".jgb"
+			}
+			f, err := os.Create(filepath.Join(*evDir, e.ID+ext))
 			if err != nil {
 				log.Fatal(err)
 			}
-			sink = telemetry.NewJSONLSink(f)
+			if *evBin {
+				sink = binlog.NewBinSink(f, binlog.Options{})
+			} else {
+				sink = telemetry.NewJSONLSink(f)
+			}
 			expOpt.Tracer = telemetry.New(sink)
 		}
 		start := time.Now()

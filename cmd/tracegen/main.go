@@ -1,10 +1,12 @@
-// Command tracegen writes a benchmark's synthetic request stream as a text
+// Command tracegen writes a benchmark's synthetic request stream as a
 // trace file that jitgcsim-compatible tools (and examples/tracereplay) can
-// replay.
+// replay: the human-readable text format by default, or the columnar
+// binlog format with -binary (an order of magnitude smaller, and the only
+// practical choice once traces reach 10⁸ requests).
 //
 // Usage:
 //
-//	tracegen -bench Postmark -out postmark.trace [-ops N] [-seed S] [-ws PAGES]
+//	tracegen -bench Postmark -out postmark.trace [-ops N] [-seed S] [-ws PAGES] [-binary]
 package main
 
 import (
@@ -13,6 +15,7 @@ import (
 	"log"
 	"os"
 
+	"jitgc/internal/telemetry/binlog"
 	"jitgc/internal/trace"
 	"jitgc/internal/workload"
 )
@@ -27,6 +30,7 @@ func main() {
 		ops   = flag.Int("ops", 100000, "number of requests")
 		seed  = flag.Int64("seed", 1, "generation seed")
 		ws    = flag.Int64("ws", 28621, "working set in pages (default: half the default user capacity)")
+		bin   = flag.Bool("binary", false, "write the columnar binlog format instead of text")
 	)
 	flag.Parse()
 
@@ -52,7 +56,12 @@ func main() {
 		}()
 		w = f
 	}
-	if err := trace.Encode(w, reqs); err != nil {
+	if *bin {
+		err = binlog.EncodeRequests(w, reqs, binlog.Options{})
+	} else {
+		err = trace.Encode(w, reqs)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 	st := trace.Summarize(reqs)

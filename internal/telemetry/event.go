@@ -60,19 +60,24 @@ const (
 
 // Event is one trace record. It is a flat union over all event types: only
 // the fields meaningful for Type are populated, and zero-valued fields are
-// omitted from the JSONL encoding. T is the simulation clock, not wall
-// time.
+// omitted from the JSONL encoding — except Dev, LPN, Victim, and Page,
+// whose zero values are legitimate data (member 0, logical page 0, victim
+// block 0, in-block page 0) and are therefore always encoded explicitly so
+// a decoded stream cannot confuse "page zero" with "no page" (fault events
+// mark "no logical page" with the explicit LPN=-1 sentinel, which only
+// works if 0 survives the round trip too). T is the simulation clock, not
+// wall time.
 type Event struct {
 	Type EventType     `json:"type"`
 	T    time.Duration `json:"t_ns"`
 	// Dev is the array member index the event belongs to (0 in
 	// single-device runs, -1 for array-level events that belong to no
 	// single member).
-	Dev int `json:"dev,omitempty"`
+	Dev int `json:"dev"`
 
 	// Request fields (EvRequest).
 	Kind    string        `json:"kind,omitempty"`
-	LPN     int64         `json:"lpn,omitempty"`
+	LPN     int64         `json:"lpn"`
 	Pages   int           `json:"pages,omitempty"`
 	Latency time.Duration `json:"latency_ns,omitempty"`
 
@@ -84,7 +89,7 @@ type Event struct {
 
 	// GC fields (EvGCStart, EvGCEnd, EvErase).
 	Foreground bool          `json:"foreground,omitempty"`
-	Victim     int           `json:"victim,omitempty"`
+	Victim     int           `json:"victim"`
 	ValidPages int           `json:"valid_pages,omitempty"`
 	SIPPages   int           `json:"sip_pages,omitempty"`
 	FreedPages int64         `json:"freed_pages,omitempty"`
@@ -99,7 +104,7 @@ type Event struct {
 	// EvDeviceDegraded). Victim carries the block index and LPN the logical
 	// page where meaningful.
 	Op        string `json:"op,omitempty"`        // failed operation kind
-	Page      int    `json:"page,omitempty"`      // in-block page index
+	Page      int    `json:"page"`                // in-block page index
 	Attempts  int    `json:"attempts,omitempty"`  // read retries spent
 	Recovered bool   `json:"recovered,omitempty"` // read retry succeeded
 	Reason    string `json:"reason,omitempty"`    // retirement / degradation cause
@@ -117,6 +122,80 @@ type Event struct {
 	FGCInvocations int64   `json:"fgc,omitempty"`
 	BGCCollections int64   `json:"bgc,omitempty"`
 	Requests       int64   `json:"requests,omitempty"`
+}
+
+// FieldSet is a bitmask over Event's payload fields (everything except
+// Type and T, which every event carries). It drives the columnar binary
+// encoding: a column holds values only for events whose type's field set
+// contains it, so the per-type population of the flat Event union is part
+// of the wire contract, not an encoder heuristic.
+type FieldSet uint32
+
+// Field bits, in Event struct order.
+const (
+	FDev FieldSet = 1 << iota
+	FKind
+	FLPN
+	FPages
+	FLatency
+	FFreeBytes
+	FReclaimBytes
+	FPredictedBytes
+	FIdleFraction
+	FForeground
+	FVictim
+	FValidPages
+	FSIPPages
+	FFreedPages
+	FElapsed
+	FEraseCount
+	FAction
+	FOp
+	FPage
+	FAttempts
+	FRecovered
+	FReason
+	FTenant
+	FClass
+	FDropped
+	FViolations
+	FDirtyPages
+	FWAF
+	FFGC
+	FBGC
+	FRequests
+
+	// FAll is every payload field; it is the field set of unknown event
+	// types, which must round-trip without knowing which fields matter.
+	FAll FieldSet = 1<<31 - 1
+)
+
+// typeFields maps each event type to the fields its emitter populates,
+// mirroring the Tracer helpers one-to-one.
+var typeFields = map[EventType]FieldSet{
+	EvRequest:        FDev | FKind | FLPN | FPages | FLatency,
+	EvFlushDecision:  FDev | FFreeBytes | FReclaimBytes | FPredictedBytes | FIdleFraction,
+	EvGCStart:        FDev | FForeground | FVictim | FValidPages | FSIPPages,
+	EvGCEnd:          FDev | FForeground | FVictim | FFreedPages | FElapsed,
+	EvErase:          FDev | FVictim | FEraseCount | FElapsed,
+	EvToken:          FDev | FAction | FReclaimBytes | FFreeBytes,
+	EvSnapshot:       FDev | FFreeBytes | FDirtyPages | FWAF | FFGC | FBGC | FRequests,
+	EvFault:          FDev | FOp | FVictim | FPage | FLPN,
+	EvBlockRetired:   FDev | FVictim | FReason | FEraseCount,
+	EvReadRetry:      FDev | FVictim | FPage | FLPN | FAttempts | FRecovered,
+	EvDeviceDegraded: FDev | FReason,
+	EvTenantSummary:  FDev | FTenant | FClass | FRequests | FDropped | FViolations | FLatency,
+}
+
+// Fields returns the payload fields populated by events of type t. Unknown
+// types report FAll (and known=false), so a forward-compatible encoder
+// preserves every field rather than guessing.
+func Fields(t EventType) (set FieldSet, known bool) {
+	set, known = typeFields[t]
+	if !known {
+		return FAll, false
+	}
+	return set, true
 }
 
 // Token hand-off actions (Event.Action for EvToken).

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -26,13 +27,19 @@ type Sink interface {
 // Close, so a full disk does not corrupt the tail of a trace with partial
 // lines.
 type JSONLSink struct {
-	mu  sync.Mutex
-	bw  *bufio.Writer
-	enc *json.Encoder // bound to bw; reuses its scratch across events
-	c   io.Closer     // nil when the caller owns the writer's lifetime
-	err error
-	n   int64
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	enc    *json.Encoder // bound to bw; reuses its scratch across events
+	c      io.Closer     // nil when the caller owns the writer's lifetime
+	closed bool
+	err    error
+	n      int64
 }
+
+// ErrClosedSink is the sticky error recorded when events are emitted into a
+// sink that has already been closed: they were silently lost, and the loss
+// must surface somewhere.
+var ErrClosedSink = errors.New("telemetry: emit after Close")
 
 // NewJSONLSink wraps w in a buffered JSONL event stream. If w is also an
 // io.Closer it is closed by Close.
@@ -52,6 +59,14 @@ func NewJSONLSink(w io.Writer) *JSONLSink {
 func (s *JSONLSink) Emit(ev Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		// The event can never be flushed; record the loss instead of
+		// buffering it into a writer that will not be flushed again.
+		if s.err == nil {
+			s.err = ErrClosedSink
+		}
+		return
+	}
 	if s.err != nil {
 		return
 	}
@@ -73,10 +88,17 @@ func (s *JSONLSink) Count() int64 {
 }
 
 // Close flushes the stream and closes the underlying writer when it is a
-// Closer. It returns the first error of the sink's lifetime.
+// Closer. It returns the first error of the sink's lifetime. Close is
+// idempotent: a second Close neither re-flushes into the already-closed
+// writer (which could fail and shadow a clean first result) nor re-closes
+// it; it just reports the same result again.
 func (s *JSONLSink) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return s.err
+	}
+	s.closed = true
 	if ferr := s.bw.Flush(); s.err == nil && ferr != nil {
 		s.err = fmt.Errorf("telemetry: flush: %w", ferr)
 	}

@@ -85,6 +85,108 @@ func TestJSONLSinkStickyError(t *testing.T) {
 	}
 }
 
+// TestEventZeroFieldsExplicit locks down the round-trip fidelity contract:
+// LPN, Dev, Victim, and Page carry legitimate zero values (logical page 0,
+// member 0, victim block 0, in-block page 0), so their zeros must be
+// encoded explicitly rather than dropped as "absent" — otherwise a decoded
+// stream cannot tell page zero from no page, and fault events' explicit
+// LPN=-1 "no logical page" sentinel loses its meaning.
+func TestEventZeroFieldsExplicit(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	s.Emit(Event{Type: EvRequest, T: 1, Kind: "R", LPN: 0, Pages: 1, Latency: 5})
+	s.Emit(Event{Type: EvFault, T: 2, Op: "erase", Victim: 0, Page: 0, LPN: -1})
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2", len(lines))
+	}
+	for _, want := range []string{`"lpn":0`, `"dev":0`} {
+		if !strings.Contains(lines[0], want) {
+			t.Errorf("request with zero fields encodes %s without %s", lines[0], want)
+		}
+	}
+	for _, want := range []string{`"lpn":-1`, `"victim":0`, `"page":0`} {
+		if !strings.Contains(lines[1], want) {
+			t.Errorf("fault at block 0 page 0 encodes %s without %s", lines[1], want)
+		}
+	}
+	// And the stream round-trips value-faithfully.
+	evs, err := DecodeJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs[0].LPN != 0 || evs[1].LPN != -1 || evs[1].Victim != 0 || evs[1].Page != 0 {
+		t.Errorf("round trip lost zero-valued fields: %+v", evs)
+	}
+}
+
+func TestFieldsTable(t *testing.T) {
+	for _, ty := range []EventType{EvRequest, EvFlushDecision, EvGCStart, EvGCEnd, EvErase,
+		EvToken, EvSnapshot, EvFault, EvBlockRetired, EvReadRetry, EvDeviceDegraded, EvTenantSummary} {
+		set, known := Fields(ty)
+		if !known {
+			t.Errorf("Fields(%q) unknown", ty)
+		}
+		if set&FDev == 0 {
+			t.Errorf("Fields(%q) lacks FDev; every event is device-tagged", ty)
+		}
+	}
+	if set, known := Fields("no-such-type"); known || set != FAll {
+		t.Errorf("Fields(unknown) = %v, %v; want FAll, false", set, known)
+	}
+}
+
+// closeCounter counts Close calls and can fail writes after n bytes.
+type closeCounter struct {
+	bytes.Buffer
+	closes int
+}
+
+func (c *closeCounter) Close() error {
+	c.closes++
+	return nil
+}
+
+func TestJSONLSinkCloseIdempotent(t *testing.T) {
+	w := &closeCounter{}
+	s := NewJSONLSink(w)
+	s.Emit(Event{Type: EvErase, T: 1})
+	first := s.Close()
+	if first != nil {
+		t.Fatalf("first Close: %v", first)
+	}
+	flushed := w.Len()
+	if again := s.Close(); again != first {
+		t.Errorf("second Close = %v, want the first result (%v)", again, first)
+	}
+	if w.closes != 1 {
+		t.Errorf("underlying writer closed %d times, want 1", w.closes)
+	}
+	if w.Len() != flushed {
+		t.Errorf("second Close wrote %d more bytes into the closed writer", w.Len()-flushed)
+	}
+}
+
+func TestJSONLSinkEmitAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	s.Emit(Event{Type: EvErase, T: 1})
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	n := s.Count()
+	s.Emit(Event{Type: EvErase, T: 2}) // silently lost before the fix
+	if s.Count() != n {
+		t.Errorf("Count grew to %d after Close, want %d", s.Count(), n)
+	}
+	if err := s.Close(); !errors.Is(err, ErrClosedSink) {
+		t.Errorf("Close after emit-after-close = %v, want ErrClosedSink", err)
+	}
+}
+
 func TestJSONLSinkConcurrentEmit(t *testing.T) {
 	var buf bytes.Buffer
 	s := NewJSONLSink(&buf)
