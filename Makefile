@@ -12,13 +12,13 @@ COVERAGE_BASELINE := $(shell cat ci/coverage-baseline.txt)
 
 # PR number stamped into archived benchmark artifacts (BENCH_pr$(PR).json).
 # Bump per PR instead of editing the bench targets.
-PR ?= 8
+PR ?= 9
 
 # Benchmark repeats per run. 1 for the smoke run and gate; bench-compare
 # raises it so the Mann–Whitney U test has samples to work with.
 COUNT ?= 1
 
-.PHONY: ci build vet test test-race fuzz-regress fault-regress multitenant-smoke coverage-gate fuzz bench-run bench bench-gate bench-baseline bench-compare bench-full bench-scale
+.PHONY: ci build vet test test-race fuzz-regress fault-regress multitenant-smoke arrayscale-smoke coverage-gate fuzz bench-run bench bench-gate bench-baseline bench-compare bench-full bench-scale
 
 # Tolerance band for the bytes-per-logical-page memory gate: the FTL's
 # metadata footprint (heap delta around construction, measured by
@@ -32,7 +32,7 @@ BYTES_PER_LPAGE_BAND := bytes/lpage=1.10,1.0
 # baseline-relative bands — the format's reason to exist is quantified.
 BINLOG_FLOORS := -min-metric size-x=10 -min-metric speed-x=5
 
-ci: build vet test-race fuzz-regress fault-regress multitenant-smoke coverage-gate bench-gate
+ci: build vet test-race fuzz-regress fault-regress multitenant-smoke arrayscale-smoke coverage-gate bench-gate
 
 build:
 	$(GO) build ./...
@@ -70,6 +70,16 @@ fault-regress:
 multitenant-smoke:
 	$(GO) test -race -count=1 -short ./internal/tenant/
 	$(GO) test -race -count=1 -short -run 'TestMultiTenantExpDeterministic' .
+
+# Array rebuild/redundancy smoke under the race detector: mirror and parity
+# degraded service, spare rebuild and swap-in, online growth, the adaptive
+# token cap, and the wide-array experiment's worker-count determinism.
+# Isolated from test-race so an array regression is named in CI output.
+arrayscale-smoke:
+	$(GO) test -race -count=1 \
+		-run 'Rebuild|Redundancy|Mirror|Parity|Torn|AdaptiveCap|Growth|Spread' \
+		./internal/array/
+	$(GO) test -race -count=1 -short -run 'TestArrayScaleExpWorkersDeterministic' .
 
 # Fail if total statement coverage of internal/... falls below the
 # baseline recorded in ci/coverage-baseline.txt. Raise the baseline when

@@ -29,9 +29,27 @@ type ArrayConfig struct {
 	// rotation token caps concurrent background collections and JIT-GC's
 	// T_idle/T_gc test runs against array-level demand).
 	Coordination string
-	// MaxConcurrentGC is the token width K in coordinated mode
-	// (default max(1, Devices/4)).
+	// MaxConcurrentGC is the token width K in coordinated mode.
+	// array.AdaptiveCap (-1) resizes K every interval from the aggregate
+	// burn rate; the default is max(1, Devices/2) up to 8 devices and
+	// adaptive beyond.
 	MaxConcurrentGC int
+	// Redundancy selects stripe protection: "none" (default), "mirror"
+	// (chained declustering, capacity halves) or "parity" (rotated
+	// RAID-5-style, capacity (N-1)/N). Mirror and parity serve requests
+	// touching a degraded member instead of failing them fast.
+	Redundancy string
+	// Spares is the number of standby devices: when a member degrades, a
+	// spare is attached and the shard rebuilt onto it in the background.
+	Spares int
+	// RebuildPagesPerTick bounds background rebuild/reshape traffic per
+	// write-back tick (default 1024 pages).
+	RebuildPagesPerTick int64
+	// GrowDevices adds this many fresh devices at GrowAfter and reshapes
+	// existing stripes into the widened layout ("none" redundancy only).
+	GrowDevices int
+	// GrowAfter is the simulation time at which GrowDevices join.
+	GrowAfter time.Duration
 }
 
 // withDefaults fills zero fields.
@@ -66,11 +84,16 @@ func RunArray(benchmark string, policy PolicySpec, acfg ArrayConfig, opt Options
 	cfg, _ := devOpt.simConfig()
 
 	arr, err := array.New(array.Config{
-		Devices:         acfg.Devices,
-		StripePages:     acfg.StripePages,
-		Mode:            array.Mode(acfg.Coordination),
-		MaxConcurrentGC: acfg.MaxConcurrentGC,
-		Device:          cfg,
+		Devices:             acfg.Devices,
+		StripePages:         acfg.StripePages,
+		Mode:                array.Mode(acfg.Coordination),
+		MaxConcurrentGC:     acfg.MaxConcurrentGC,
+		Redundancy:          array.Redundancy(acfg.Redundancy),
+		Spares:              acfg.Spares,
+		RebuildPagesPerTick: acfg.RebuildPagesPerTick,
+		GrowDevices:         acfg.GrowDevices,
+		GrowAfter:           acfg.GrowAfter,
+		Device:              cfg,
 	}, policy.Factory())
 	if err != nil {
 		return ArrayResults{}, err

@@ -53,6 +53,8 @@ func main() {
 		devices  = flag.Int("devices", 1, "number of SSDs in a striped array (1 = single-device simulation)")
 		stripe   = flag.Int64("stripe", 64, "array striping granularity in logical pages")
 		coord    = flag.String("coord", "independent", "array GC coordination mode (independent, coordinated)")
+		spares   = flag.Int("spares", 0, "standby spare devices for the array (rebuild targets after a member failure)")
+		redun    = flag.String("redundancy", "none", "array stripe protection (none, mirror, parity)")
 		events   = flag.String("trace-events", "", "stream structured simulation events to this file (JSONL, or columnar binlog if it ends in .jgb)")
 		pprofA   = flag.String("pprof", "", "serve pprof and expvar debug endpoints on this address (e.g. localhost:6060)")
 		faultR   = flag.Float64("fault-rate", 0, "per-operation NAND failure probability (0 disables fault injection; enables FTL recovery)")
@@ -78,6 +80,11 @@ func main() {
 	}
 	if *devices < 1 {
 		fmt.Fprintf(os.Stderr, "jitgcsim: -devices must be at least 1, got %d\n", *devices)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *devices == 1 && (*spares > 0 || *redun != "none") {
+		fmt.Fprintf(os.Stderr, "jitgcsim: -spares and -redundancy need a multi-device array (-devices > 1)\n")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -144,7 +151,13 @@ func main() {
 		if *traceIn != "" {
 			log.Fatal("-devices > 1 supports synthetic benchmarks only (no -trace)")
 		}
-		runArray(*bench, spec, *devices, *stripe, *coord, opt, *timeline)
+		runArray(*bench, spec, jitgc.ArrayConfig{
+			Devices:      *devices,
+			StripePages:  *stripe,
+			Coordination: *coord,
+			Spares:       *spares,
+			Redundancy:   *redun,
+		}, opt, *timeline)
 		closeSink()
 		return
 	}
@@ -234,25 +247,21 @@ func runMultiTenant(tenants int, arrival string, slo time.Duration, rate float64
 // the merged record plus the per-device spread. With a timeline path it
 // writes the merged array-level timeline there and each member's own
 // timeline next to it as <base>.devN<ext>.
-func runArray(bench string, spec jitgc.PolicySpec, devices int, stripe int64, coord string, opt jitgc.Options, timelinePath string) {
+func runArray(bench string, spec jitgc.PolicySpec, acfg jitgc.ArrayConfig, opt jitgc.Options, timelinePath string) {
 	if timelinePath != "" {
 		cfg := sim.DefaultConfig()
 		cfg.RecordTimeline = true
 		opt.Config = &cfg
 	}
-	res, err := jitgc.RunArray(bench, spec, jitgc.ArrayConfig{
-		Devices:      devices,
-		StripePages:  stripe,
-		Coordination: coord,
-	}, opt)
+	res, err := jitgc.RunArray(bench, spec, acfg, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
 	a := res.Array
 	fmt.Printf("benchmark            %s\n", a.Workload)
 	fmt.Printf("policy               %s\n", a.Policy)
-	fmt.Printf("array                %d devices, %d-page stripes, %s GC\n",
-		res.Devices, res.StripePages, res.Mode)
+	fmt.Printf("array                %d devices, %d-page stripes, %s GC, %s redundancy\n",
+		res.Devices, res.StripePages, res.Mode, res.Redundancy)
 	fmt.Printf("requests             %d\n", a.Requests)
 	fmt.Printf("simulated time       %v\n", a.SimTime.Round(1e6))
 	fmt.Printf("IOPS                 %.0f\n", a.IOPS)
@@ -266,8 +275,16 @@ func runArray(bench string, spec jitgc.PolicySpec, devices int, stripe int64, co
 		a.MeanLatency.Round(1e3), a.P99Latency.Round(1e3), res.P999Latency.Round(1e3), a.MaxLatency.Round(1e3))
 	fmt.Printf("write utilization    %.2f..%.2f of even-striping ideal\n", res.UtilMin, res.UtilMax)
 	if res.Mode == "coordinated" {
-		fmt.Printf("GC token             %d granted / %d denied / %d boosted\n",
-			res.GCGranted, res.GCDenied, res.GCBoosted)
+		fmt.Printf("GC token             %d granted / %d denied / %d boosted / %d bypassed (cap %d)\n",
+			res.GCGranted, res.GCDenied, res.GCBoosted, res.GCBypassed, res.ResolvedCap)
+	}
+	if len(res.Degraded) > 0 || len(res.Rebuilt) > 0 {
+		fmt.Printf("degraded             %v (%d requests failed fast, %d stripes torn)\n",
+			res.Degraded, res.FailedRequests, res.TornStripes)
+		fmt.Printf("degraded service     %d reads / %d writes served from redundancy\n",
+			res.DegradedReads, res.DegradedWrites)
+		fmt.Printf("rebuild              slots %v rebuilt onto spares: %d pages in %v (%d spares left)\n",
+			res.Rebuilt, res.RebuildPages, res.RebuildTime.Round(1e6), res.SparesRemaining)
 	}
 	if a.Predictive {
 		fmt.Printf("prediction accuracy  %.1f%%\n", 100*a.PredictionAccuracy)

@@ -130,6 +130,33 @@ func TestArrayExpWorkersDeterministic(t *testing.T) {
 	}
 }
 
+// TestArrayScaleExpWorkersDeterministic does the same for the wide-array
+// study: its cells carry rebuild and reshape state on top of coordination,
+// all of which must stay confined to the cell's own array.
+func TestArrayScaleExpWorkersDeterministic(t *testing.T) {
+	e, err := ExperimentByID("arrayscale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := 1000
+	if testing.Short() {
+		ops = 250
+	}
+	render := func(workers int) string {
+		tables, err := e.Run(Options{Seed: 1, Ops: ops, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return renderExperiment(e, tables)
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Errorf("arrayscale experiment differs between Workers=1 and Workers=8:\n%s",
+			diffLines(serial, parallel))
+	}
+}
+
 // TestMultiTenantExpDeterministic asserts the multi-tenant experiment
 // renders byte-identically across worker counts and across repeated runs at
 // a fixed seed. The engine superposes thousands of seeded arrival and

@@ -27,10 +27,18 @@
 // mid-burst. Devices whose free space no longer covers their own demand
 // bypass the token entirely — denying them would only convert the same
 // work into a foreground stall.
+//
+// The array also survives its members: optional mirror or parity stripe
+// protection serves requests that touch a degraded member from redundancy
+// (redundancy.go), standby spares are rebuilt into dead slots in the
+// background while survivors keep serving (rebuild.go), and adding devices
+// triggers an online reshape that rebalances existing stripes into the
+// widened layout.
 package array
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"jitgc/internal/core"
@@ -64,6 +72,12 @@ func ParseMode(s string) (Mode, error) {
 		s, Independent, Coordinated)
 }
 
+// AdaptiveCap, assigned to Config.MaxConcurrentGC, sizes the rotation
+// token from the observed per-interval free-space burn instead of a static
+// width: every interval the coordinator admits just enough concurrent
+// collectors that one interval of collection covers the aggregate burn.
+const AdaptiveCap = -1
+
 // Config assembles an array simulation.
 type Config struct {
 	// Devices is the number of SSDs in the array (≥ 1).
@@ -76,10 +90,34 @@ type Config struct {
 	Mode Mode
 	// MaxConcurrentGC is K, the rotation-token width in Coordinated mode:
 	// at most this many devices run background GC in one write-back
-	// interval. Default max(1, Devices/2). Devices facing imminent
-	// foreground GC bypass the token, so K bounds steady-state
-	// concurrency, not crisis response.
+	// interval. AdaptiveCap (-1) resizes K every interval from the
+	// aggregate burn rate. Default: max(1, Devices/2) up to 8 devices —
+	// the regime the static width was tuned in — and AdaptiveCap beyond.
+	// Devices facing imminent foreground GC bypass the token, so K bounds
+	// steady-state concurrency, not crisis response.
 	MaxConcurrentGC int
+	// Redundancy selects stripe protection (default RedundancyNone).
+	// Mirror halves the array's logical capacity, parity costs 1/N of it;
+	// both let requests touching a degraded member be served instead of
+	// failed fast.
+	Redundancy Redundancy
+	// Spares is the number of standby devices built alongside the array.
+	// When a member degrades, a spare (if any remain) is attached and the
+	// shard is rebuilt onto it in the background; on completion the spare
+	// takes over the slot.
+	Spares int
+	// RebuildPagesPerTick budgets background shard migration: each active
+	// rebuild (and the rebalancing reshape) moves at most this many pages
+	// per write-back tick, bounding the maintenance traffic's intrusion on
+	// foreground latency. Default 1024.
+	RebuildPagesPerTick int64
+	// GrowDevices adds this many fresh devices once the run reaches
+	// GrowAfter, triggering an online reshape that rebalances existing
+	// stripes into the widened layout (RedundancyNone only). The array's
+	// logical capacity grows when the reshape completes.
+	GrowDevices int
+	// GrowAfter is the simulation time at which GrowDevices join.
+	GrowAfter time.Duration
 	// Device configures each member device. PreconditionPages is
 	// per-device. NonPreemptiveBGC is forced on: array tail latency is
 	// about striped requests colliding with per-device collections, which
@@ -96,10 +134,23 @@ func (c Config) withDefaults() Config {
 		c.Mode = Independent
 	}
 	if c.MaxConcurrentGC == 0 {
-		c.MaxConcurrentGC = c.Devices / 2
-		if c.MaxConcurrentGC < 1 {
-			c.MaxConcurrentGC = 1
+		if c.Devices > 8 {
+			// The static N/2 width was only ever tuned at ≤8 devices; at
+			// larger N it admits more simultaneous collectors than the
+			// aggregate burn ever needs and the per-device tails spread.
+			c.MaxConcurrentGC = AdaptiveCap
+		} else {
+			c.MaxConcurrentGC = c.Devices / 2
+			if c.MaxConcurrentGC < 1 {
+				c.MaxConcurrentGC = 1
+			}
 		}
+	}
+	if c.Redundancy == "" {
+		c.Redundancy = RedundancyNone
+	}
+	if c.RebuildPagesPerTick == 0 {
+		c.RebuildPagesPerTick = 1024
 	}
 	c.Device.NonPreemptiveBGC = true
 	return c
@@ -116,8 +167,30 @@ func (c Config) Validate() error {
 	if _, err := ParseMode(string(c.Mode)); err != nil {
 		return err
 	}
-	if c.MaxConcurrentGC < 1 {
+	if c.MaxConcurrentGC < 1 && c.MaxConcurrentGC != AdaptiveCap {
 		return fmt.Errorf("array: non-positive GC concurrency %d", c.MaxConcurrentGC)
+	}
+	if _, err := ParseRedundancy(string(c.Redundancy)); err != nil {
+		return err
+	}
+	if c.Redundancy == RedundancyMirror && c.Devices < 2 {
+		return fmt.Errorf("array: mirroring needs at least 2 devices, got %d", c.Devices)
+	}
+	if c.Redundancy == RedundancyParity && c.Devices < 3 {
+		return fmt.Errorf("array: parity needs at least 3 devices, got %d", c.Devices)
+	}
+	if c.Spares < 0 {
+		return fmt.Errorf("array: negative spare count %d", c.Spares)
+	}
+	if c.RebuildPagesPerTick < 1 {
+		return fmt.Errorf("array: non-positive rebuild budget %d pages/tick", c.RebuildPagesPerTick)
+	}
+	if c.GrowDevices < 0 {
+		return fmt.Errorf("array: negative growth %d devices", c.GrowDevices)
+	}
+	if c.GrowDevices > 0 && c.Redundancy != RedundancyNone {
+		return fmt.Errorf("array: online rebalancing requires redundancy %q, got %q",
+			RedundancyNone, c.Redundancy)
 	}
 	return c.Device.Validate()
 }
@@ -125,25 +198,45 @@ func (c Config) Validate() error {
 // Array drives N per-device simulators on one shared clock.
 type Array struct {
 	cfg      Config
+	factory  sim.PolicyFactory // retained to build devices added by growth
 	devs     []*sim.Simulator
 	ext      [][]extent // per-device split scratch, reused across requests
 	token    int        // next device the rotation token visits
 	tr       *telemetry.Tracer
 	degraded []error // non-nil once the member failed a device operation
 	failed   int64   // array requests failed fast against degraded members
+	torn     int64   // partial stripe mutations: a segment failed after earlier ones landed
 
 	perDevPages int64 // usable pages per device, stripe-aligned
 	userPages   int64 // array logical capacity
+
+	spares        []*sim.Simulator // standby pool, attached to slots as members degrade
+	nextTag       int              // telemetry device index for the next constructed device
+	rebuilds      []*rebuildState  // active spare migrations
+	rebuilt       []int            // slots whose spare took over
+	rebuildPages  int64
+	rebuildTime   time.Duration
+	replaced      []metrics.Results // records of members swapped out after rebuild
+	replacedSlots []int
+
+	reshape       *reshapeState // active (or aborted) rebalancing
+	grown         bool
+	rebalanced    int64
+	rebalanceTime time.Duration
+
+	degradedReads  int64 // extents served from redundancy instead of a dead primary
+	degradedWrites int64 // write extents that mutated redundancy in a dead primary's stead
 
 	lat            metrics.LatencyRecorder
 	requests       int64
 	opsEnd         time.Duration
 	lastCompletion time.Duration
 
-	intervalReqs             int64   // arrivals since the last write-back tick
-	lastFree                 []int64 // per-device free bytes at the previous tick (-1 before the first)
-	burnEMA                  []int64 // per-device free-space burn per interval, decaying peak
-	granted, denied, boosted int64
+	intervalReqs                       int64   // arrivals since the last write-back tick
+	lastFree                           []int64 // per-device free bytes at the previous tick (-1 before the first)
+	burnEMA                            []int64 // per-device free-space burn per interval, decaying peak
+	granted, denied, boosted, bypassed int64
+	capNow                             int // token width resolved at the latest interval
 }
 
 // extent is a run of contiguous device-local pages within one request.
@@ -172,26 +265,59 @@ func New(cfg Config, factory sim.PolicyFactory) (*Array, error) {
 		devs[i] = s
 	}
 	// Each device contributes a whole number of stripes; the remainder is
-	// unaddressable so that every array LPN maps inside its device.
-	perDev := devs[0].FTL().UserPages() / cfg.StripePages * cfg.StripePages
+	// unaddressable so that every array LPN maps inside its device. Under
+	// mirroring only the lower half of each device is primary shard (the
+	// upper half holds the neighbor's copy); under parity each device
+	// carries one unit — data or parity — per stripe row.
+	devUser := devs[0].FTL().UserPages()
+	if cfg.Redundancy == RedundancyMirror {
+		devUser /= 2
+	}
+	perDev := devUser / cfg.StripePages * cfg.StripePages
 	if perDev == 0 {
 		return nil, fmt.Errorf("array: stripe %d pages exceeds device capacity %d",
-			cfg.StripePages, devs[0].FTL().UserPages())
+			cfg.StripePages, devUser)
+	}
+	dataDevs := int64(cfg.Devices)
+	if cfg.Redundancy == RedundancyParity {
+		dataDevs--
+	}
+	spares := make([]*sim.Simulator, cfg.Spares)
+	for i := range spares {
+		// Spares start empty — no preconditioning — and stay idle until a
+		// rebuild attaches them; their events carry indices past the
+		// members'.
+		devCfg := cfg.Device
+		devCfg.Tracer = cfg.Device.Tracer.WithDevice(cfg.Devices + i)
+		devCfg.PreconditionPages = 0
+		s, err := sim.New(devCfg, factory)
+		if err != nil {
+			return nil, fmt.Errorf("array: spare %d: %w", i, err)
+		}
+		spares[i] = s
 	}
 	lastFree := make([]int64, cfg.Devices)
 	for i := range lastFree {
 		lastFree[i] = -1
 	}
+	capNow := cfg.MaxConcurrentGC
+	if capNow == AdaptiveCap {
+		capNow = 1
+	}
 	a := &Array{
 		cfg:         cfg,
+		factory:     factory,
 		devs:        devs,
 		ext:         make([][]extent, cfg.Devices),
 		tr:          cfg.Device.Tracer,
 		degraded:    make([]error, cfg.Devices),
+		spares:      spares,
+		nextTag:     cfg.Devices + cfg.Spares,
 		lastFree:    lastFree,
 		burnEMA:     make([]int64, cfg.Devices),
+		capNow:      capNow,
 		perDevPages: perDev,
-		userPages:   perDev * int64(cfg.Devices),
+		userPages:   perDev * dataDevs,
 	}
 	// The array-level recorder follows the member setting: whole-request
 	// latencies stream into a constant-memory histogram when the members'
@@ -208,12 +334,28 @@ func (a *Array) UserPages() int64 { return a.userPages }
 // Device returns member device i, for inspection in tests and reports.
 func (a *Array) Device(i int) *sim.Simulator { return a.devs[i] }
 
-// locate maps an array LPN to its device index and device-local LPN:
-// stripe s lands on device s mod N at local stripe s div N.
+// locate maps an array LPN to its primary device index and device-local
+// LPN. Without parity, stripe s lands on device s mod N at local stripe
+// s div N; during an online reshape, stripes the migration cursor has
+// passed use the grown layout while the rest keep the old one. Under
+// rotated parity, row r = s div (N-1) skips the row's parity member and
+// every member holds exactly one unit per row at local r·stripe.
 func (a *Array) locate(alpn int64) (int, int64) {
 	stripe := a.cfg.StripePages
 	s, off := alpn/stripe, alpn%stripe
+	if a.cfg.Redundancy == RedundancyParity {
+		n := int64(a.cfg.Devices)
+		row := s / (n - 1)
+		d := s % (n - 1)
+		if d >= row%n {
+			d++
+		}
+		return int(d), row*stripe + off
+	}
 	n := int64(len(a.devs))
+	if r := a.reshape; r != nil && s >= r.cursor {
+		n = int64(r.oldN)
+	}
 	return int(s % n), (s/n)*stripe + off
 }
 
@@ -268,7 +410,10 @@ func (a *Array) run(reqs []trace.Request, closed bool) (Results, error) {
 			t = arrival
 		case ri < len(reqs):
 			t, tick = nextTick, true
-		case a.cfg.Device.DrainCache && a.anyDirty():
+		case a.cfg.Device.DrainCache && (a.anyDirty() || a.maintenancePending()):
+			// Ticks keep firing past the last request until the caches
+			// drain AND pending rebuild/rebalance work runs to completion —
+			// a run does not end with a spare half-migrated.
 			t, tick = nextTick, true
 		default:
 			return a.results(), nil
@@ -294,16 +439,19 @@ func (a *Array) run(reqs []trace.Request, closed bool) (Results, error) {
 func (a *Array) Degraded(i int) error { return a.degraded[i] }
 
 // degrade takes member dev out of service after a device operation failed
-// fatally. The array keeps running: requests striped onto the member fail
-// fast, the other members keep serving theirs, and the degraded member is
-// skipped by the tick loop and the GC coordinator from here on. Only the
-// first failure per member is recorded.
+// fatally. The array keeps running: requests striped onto the member are
+// served from redundancy when configured (failed fast otherwise), the
+// other members keep serving theirs, and the degraded member is skipped by
+// the tick loop and the GC coordinator from here on. Only the first
+// failure per member is recorded. If the spare pool has a device, a
+// background rebuild starts immediately.
 func (a *Array) degrade(t time.Duration, dev int, err error) {
 	if a.degraded[dev] != nil {
 		return
 	}
 	a.degraded[dev] = err
 	a.tr.DeviceDegraded(t, dev, err.Error())
+	a.startRebuild(t, dev)
 }
 
 // anyDirty reports whether any healthy device's page cache still holds
@@ -321,13 +469,17 @@ func (a *Array) anyDirty() bool {
 // handleRequest splits one array request into per-device segments, services
 // them, and records the array-level completion (the slowest segment).
 //
-// A request touching a degraded member fails fast BEFORE any segment is
-// issued — no partial stripe write lands on the survivors — and is counted
-// in FailedRequests instead of the served-request and latency statistics.
-// A segment that fails on a healthy member degrades that member (the error
-// is a device failure: trace bounds are validated at the array level) and
-// fails the request the same way; subsequent requests on the survivors
-// keep being served.
+// A request touching a degraded member that redundancy cannot stand in for
+// fails fast BEFORE any segment is issued — no partial stripe write lands
+// on the survivors — and is counted in FailedRequests instead of the
+// served-request and latency statistics. A segment that fails on a healthy
+// member degrades that member (the error is a device failure: trace bounds
+// are validated at the array level); the request is then served from
+// redundancy where configured, and otherwise fails with the stripe TORN —
+// segments issued before the failure have already landed on the survivors.
+// Torn stripes are counted and traced; a later rewrite of the stripe (or,
+// in salvage rebuilds, the swapped-in spare's pre-failure copy of the dead
+// segment) is what reconciles them.
 func (a *Array) handleRequest(r trace.Request) error {
 	if r.End() > a.userPages {
 		return fmt.Errorf("%w: lpn %d..%d, array capacity %d",
@@ -335,22 +487,25 @@ func (a *Array) handleRequest(r trace.Request) error {
 	}
 	a.split(r.LPN, r.Pages)
 	for i, exts := range a.ext {
-		if len(exts) > 0 && a.degraded[i] != nil {
-			a.failed++
+		if len(exts) > 0 && a.degraded[i] != nil && !a.canServeDegraded(i) {
+			a.failRequest(r)
 			return nil
 		}
 	}
 	var completion time.Duration
+	landed := false
 	for i, exts := range a.ext {
 		for _, e := range exts {
-			c, err := a.devs[i].StepRequest(trace.Request{
-				Time: r.Time, Kind: r.Kind, LPN: e.lpn, Pages: e.pages,
-			})
-			if err != nil {
-				a.degrade(r.Time, i, err)
-				a.failed++
+			c, ok := a.issueExtent(r, i, e)
+			if !ok {
+				if landed && r.Kind != trace.Read {
+					a.torn++
+					a.tr.StripeTorn(r.Time, i, r.LPN, r.Pages)
+				}
+				a.failRequest(r)
 				return nil
 			}
+			landed = true
 			if c > completion {
 				completion = c
 			}
@@ -364,6 +519,17 @@ func (a *Array) handleRequest(r trace.Request) error {
 		a.opsEnd = completion
 	}
 	return nil
+}
+
+// failRequest counts one array request that could not be served, and
+// anchors the closed-loop clock at the request's own issue time: the next
+// arrival's think time must not be measured from an older successful
+// completion, which would schedule it in the past.
+func (a *Array) failRequest(r trace.Request) {
+	a.failed++
+	if r.Time > a.lastCompletion {
+		a.lastCompletion = r.Time
+	}
 }
 
 // split decomposes the array extent [lpn, lpn+pages) into per-device local
@@ -397,6 +563,9 @@ func (a *Array) split(lpn int64, pages int) {
 // their policies must not be consulted — and a flush failure on a healthy
 // member degrades it rather than aborting the array run.
 func (a *Array) tick(t time.Duration) error {
+	if err := a.maybeGrow(t); err != nil {
+		return err
+	}
 	for i, d := range a.devs {
 		if a.degraded[i] != nil {
 			continue
@@ -422,6 +591,11 @@ func (a *Array) tick(t time.Duration) error {
 		}
 		d.TickApply(t, decs[i])
 	}
+	// Maintenance runs after the interval's GC program is installed, so
+	// rebuild and reshape I/O interleaves with the collections the
+	// coordinator just committed on the shared device timelines.
+	a.stepRebuilds(t)
+	a.stepReshape(t)
 	return nil
 }
 
@@ -450,7 +624,6 @@ func (a *Array) tick(t time.Duration) error {
 // throughput limited to K concurrent collectors.
 func (a *Array) coordinate(t time.Duration, decs []core.Decision) {
 	n := len(a.devs)
-	k := a.cfg.MaxConcurrentGC
 	busy := a.intervalReqs > 0
 
 	healthy := 0
@@ -496,6 +669,12 @@ func (a *Array) coordinate(t time.Duration, decs []core.Decision) {
 		a.lastFree[i] = free[i]
 	}
 
+	k := a.cfg.MaxConcurrentGC
+	if k == AdaptiveCap {
+		k = a.adaptiveCap(healthy, bgcMean)
+	}
+	a.capNow = k
+
 	urgent := false
 	if demandTotal > freeTotal && bwTotal > 0 && bgcMean > 0 {
 		tw := float64(demandTotal) / bwTotal
@@ -533,7 +712,12 @@ func (a *Array) coordinate(t time.Duration, decs []core.Decision) {
 				continue
 			}
 			if critical {
-				a.granted++ // token bypass: deferral would become FGC
+				// Token bypass: deferral would become FGC. Counted as a
+				// grant (the work proceeds) AND as a bypass, so grant-rate
+				// analysis can separate steady-state token pressure from
+				// crisis response.
+				a.granted++
+				a.bypassed++
 				a.tr.Token(t, i, telemetry.ActionBypass, decs[i].ReclaimBytes, free[i])
 				continue
 			}
@@ -591,6 +775,7 @@ func (a *Array) coordinate(t time.Duration, decs []core.Decision) {
 			a.tr.Token(t, i, action, want, free[i])
 		case ask > 0 && critical:
 			a.granted++ // beyond the token, but zeroing it would risk FGC
+			a.bypassed++
 			a.tr.Token(t, i, telemetry.ActionBypass, ask, free[i])
 		case ask > 0:
 			decs[i].ReclaimBytes = 0
@@ -601,4 +786,30 @@ func (a *Array) coordinate(t time.Duration, decs []core.Decision) {
 	if advanceTo >= 0 {
 		a.token = (advanceTo + 1) % n
 	}
+}
+
+// adaptiveCap sizes the rotation-token width from observed demand: enough
+// concurrent collectors that one interval of collection at the mean GC
+// bandwidth covers the aggregate per-interval free-space burn, clamped to
+// [1, healthy]. At 16–64 devices a static N/2 width lets half the array
+// collect at once when the burn only ever needs a handful, and the extra
+// collectors surface as per-device tail spread.
+func (a *Array) adaptiveCap(healthy int, bgcMean float64) int {
+	var burn int64
+	for i := range a.burnEMA {
+		if a.degraded[i] == nil {
+			burn += a.burnEMA[i]
+		}
+	}
+	k := 1
+	if per := bgcMean * a.cfg.Device.Cache.FlusherPeriod.Seconds(); per > 0 && burn > 0 {
+		k = int(math.Ceil(float64(burn) / per))
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > healthy {
+		k = healthy
+	}
+	return k
 }

@@ -30,28 +30,73 @@ type Results struct {
 	P999Latency time.Duration
 
 	// WAFMin and WAFMax bound per-device write amplification; their gap is
-	// the spread uncoordinated GC lets develop between members.
+	// the spread uncoordinated GC lets develop between members. Degraded
+	// members and devices added mid-run are excluded — a dead member's
+	// partial record trending toward zero is failure, not imbalance — but
+	// stay visible in PerDevice.
 	WAFMin, WAFMax float64
 	// UtilMin and UtilMax bound per-device write utilization: each
-	// device's share of host programs normalized to the even-striping
-	// ideal 1/N, so 1.0 on every device means perfectly balanced load.
+	// healthy original member's share of host programs normalized to the
+	// even-striping ideal, so 1.0 on every device means perfectly
+	// balanced load. Excludes degraded and mid-run-added members like the
+	// WAF spread.
 	UtilMin, UtilMax float64
 
 	// Degraded lists the members that failed a device operation mid-run
-	// and were taken out of service (empty for a healthy run), and
-	// FailedRequests counts the array requests failed fast because they
-	// striped onto a degraded member. Failed requests are excluded from
+	// and were taken out of service without a completed rebuild (empty
+	// for a healthy run), and FailedRequests counts the array requests
+	// failed fast because they striped onto a degraded member no
+	// redundancy could stand in for. Failed requests are excluded from
 	// Array.Requests and every latency statistic: they never reached a
 	// device, so timing them would dilute the served-request tail.
 	Degraded       []int
 	FailedRequests int64
+	// TornStripes counts partial stripe mutations: a segment failed after
+	// earlier segments of the same request had already landed on the
+	// survivors. Redundancy prevents tears (the request is served
+	// instead); without it the count is the number of stripes left
+	// host-visible inconsistent until rewritten.
+	TornStripes int64
 
-	// GCGranted, GCDenied and GCBoosted count the coordinator's token
-	// decisions (all zero in independent mode): grants include critical
-	// bypasses, denials are mid-burst deferrals to the next inter-burst
-	// gap, boosts are gap grants topped up beyond the device's own ask to
-	// pre-collect for the coming burst.
-	GCGranted, GCDenied, GCBoosted int64
+	// Redundancy echoes the stripe protection scheme.
+	Redundancy Redundancy
+	// DegradedReads and DegradedWrites count extents served from
+	// redundancy in a dead primary's stead (mirror reads, parity
+	// reconstructions, redundancy-carried writes).
+	DegradedReads, DegradedWrites int64
+
+	// Rebuilt lists slots whose degraded member was replaced by a fully
+	// rebuilt spare; SparesRemaining is the standby pool left at the end.
+	// RebuildPages counts pages migrated onto spares (copies plus host
+	// write-throughs) and RebuildTime sums attach-to-swap durations.
+	// ReplacedDevices archives the swapped-out members' records (their
+	// counters stay in the Array aggregate; PerDevice shows the
+	// replacement at the slot).
+	Rebuilt         []int
+	SparesRemaining int
+	RebuildPages    int64
+	RebuildTime     time.Duration
+	ReplacedDevices []metrics.Results
+
+	// GrownDevices counts devices added by online rebalancing;
+	// RebalancedStripes the stripes the reshape relocated into the
+	// widened layout, over RebalanceTime.
+	GrownDevices      int
+	RebalancedStripes int64
+	RebalanceTime     time.Duration
+
+	// GCGranted, GCDenied, GCBoosted and GCBypassed count the
+	// coordinator's token decisions (all zero in independent mode):
+	// grants include critical bypasses — GCBypassed counts those
+	// separately so grant-rate analysis can split steady-state token
+	// pressure from crisis response — denials are mid-burst deferrals to
+	// the next inter-burst gap, boosts are gap grants topped up beyond
+	// the device's own ask to pre-collect for the coming burst.
+	GCGranted, GCDenied, GCBoosted, GCBypassed int64
+	// ResolvedCap is the token width in effect at the last coordinated
+	// interval: the configured MaxConcurrentGC, or the burn-driven width
+	// when the cap is adaptive.
+	ResolvedCap int
 
 	// Timelines holds each member device's per-interval state samples when
 	// Config.Device.RecordTimeline is set (nil otherwise), indexed by
@@ -76,8 +121,27 @@ func (a *Array) results() Results {
 		GCGranted:   a.granted,
 		GCDenied:    a.denied,
 		GCBoosted:   a.boosted,
+		GCBypassed:  a.bypassed,
+		ResolvedCap: a.capNow,
 
 		FailedRequests: a.failed,
+		TornStripes:    a.torn,
+
+		Redundancy:     a.cfg.Redundancy,
+		DegradedReads:  a.degradedReads,
+		DegradedWrites: a.degradedWrites,
+
+		Rebuilt:         append([]int(nil), a.rebuilt...),
+		SparesRemaining: len(a.spares),
+		RebuildPages:    a.rebuildPages,
+		RebuildTime:     a.rebuildTime,
+		ReplacedDevices: append([]metrics.Results(nil), a.replaced...),
+
+		RebalancedStripes: a.rebalanced,
+		RebalanceTime:     a.rebalanceTime,
+	}
+	if a.grown {
+		res.GrownDevices = n - a.cfg.Devices
 	}
 	for i, err := range a.degraded {
 		if err != nil {
@@ -96,28 +160,19 @@ func (a *Array) results() Results {
 	var selections, filtered int64
 	var accuracy float64
 	predictive := 0
+	// Spread statistics cover only healthy original members: a degraded
+	// member's partial record trending toward zero is failure, not load
+	// imbalance, and a device added mid-run has not seen the whole stream.
+	included := 0
+	var includedPrograms int64
+	first := true
 	for i, d := range a.devs {
 		r := d.Results()
 		res.PerDevice[i] = r
 		if r.SimTime > agg.SimTime {
 			agg.SimTime = r.SimTime
 		}
-		agg.HostPrograms += r.HostPrograms
-		agg.GCMigrations += r.GCMigrations
-		agg.WastedMigrations += r.WastedMigrations
-		agg.Erases += r.Erases
-		agg.FGCInvocations += r.FGCInvocations
-		agg.BGCCollections += r.BGCCollections
-		agg.TrimmedPages += r.TrimmedPages
-		agg.CacheReadHits += r.CacheReadHits
-		agg.BufferedPages += r.BufferedPages
-		agg.DirectPages += r.DirectPages
-		agg.InjectedFaults += r.InjectedFaults
-		agg.ProgramFaults += r.ProgramFaults
-		agg.EraseFaults += r.EraseFaults
-		agg.ReadRetries += r.ReadRetries
-		agg.UnrecoverableReads += r.UnrecoverableReads
-		agg.RetiredBlocks += r.RetiredBlocks
+		accumulate(&agg, r)
 		st := d.FTL().Stats()
 		selections += st.VictimSelections
 		filtered += st.FilteredSelections
@@ -131,12 +186,23 @@ func (a *Array) results() Results {
 		if r.MaxErase > agg.MaxErase {
 			agg.MaxErase = r.MaxErase
 		}
-		if i == 0 || r.WAF < res.WAFMin {
+		if a.degraded[i] != nil || i >= a.cfg.Devices {
+			continue
+		}
+		included++
+		includedPrograms += r.HostPrograms
+		if first || r.WAF < res.WAFMin {
 			res.WAFMin = r.WAF
 		}
 		if r.WAF > res.WAFMax {
 			res.WAFMax = r.WAF
 		}
+		first = false
+	}
+	// Members swapped out after a completed rebuild did real work before
+	// they died; their counters stay in the aggregate.
+	for _, r := range a.replaced {
+		accumulate(&agg, r)
 	}
 	agg.WAF = 1
 	if agg.HostPrograms > 0 {
@@ -164,18 +230,43 @@ func (a *Array) results() Results {
 	}
 
 	res.UtilMin, res.UtilMax = 1, 1
-	if agg.HostPrograms > 0 {
+	if includedPrograms > 0 {
+		firstU := true
 		for i, r := range res.PerDevice {
-			u := float64(r.HostPrograms) * float64(n) / float64(agg.HostPrograms)
-			if i == 0 || u < res.UtilMin {
+			if a.degraded[i] != nil || i >= a.cfg.Devices {
+				continue
+			}
+			u := float64(r.HostPrograms) * float64(included) / float64(includedPrograms)
+			if firstU || u < res.UtilMin {
 				res.UtilMin = u
 			}
-			if i == 0 || u > res.UtilMax {
+			if firstU || u > res.UtilMax {
 				res.UtilMax = u
 			}
+			firstU = false
 		}
 	}
 
 	res.Array = agg
 	return res
+}
+
+// accumulate folds one member record's counters into the array aggregate.
+func accumulate(agg *metrics.Results, r metrics.Results) {
+	agg.HostPrograms += r.HostPrograms
+	agg.GCMigrations += r.GCMigrations
+	agg.WastedMigrations += r.WastedMigrations
+	agg.Erases += r.Erases
+	agg.FGCInvocations += r.FGCInvocations
+	agg.BGCCollections += r.BGCCollections
+	agg.TrimmedPages += r.TrimmedPages
+	agg.CacheReadHits += r.CacheReadHits
+	agg.BufferedPages += r.BufferedPages
+	agg.DirectPages += r.DirectPages
+	agg.InjectedFaults += r.InjectedFaults
+	agg.ProgramFaults += r.ProgramFaults
+	agg.EraseFaults += r.EraseFaults
+	agg.ReadRetries += r.ReadRetries
+	agg.UnrecoverableReads += r.UnrecoverableReads
+	agg.RetiredBlocks += r.RetiredBlocks
 }

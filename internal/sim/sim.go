@@ -592,6 +592,103 @@ func (s *Simulator) DeviceFreeAt() time.Duration { return s.deviceFreeAt }
 // simulators the driver calls it once after the final event.
 func (s *Simulator) Results() metrics.Results { return s.results() }
 
+// The maintenance I/O hooks below serve the array driver's rebuild and
+// rebalancing paths: shard migration reads/writes share the device timeline
+// with host traffic (pending background GC runs first, the device books the
+// transfer like any other I/O, idle-fraction accounting sees the busy
+// time), but they are excluded from the request count and the latency
+// recorder — maintenance traffic must not dilute the host tail.
+
+// RebuildRead services a maintenance read of pages logical pages starting
+// at lpn and returns its completion time. Dirty pages still sitting in the
+// page cache are served from RAM; only misses touch the device.
+func (s *Simulator) RebuildRead(t time.Duration, lpn int64, pages int) (time.Duration, error) {
+	if lpn < 0 || lpn+int64(pages) > s.ftl.UserPages() {
+		return 0, fmt.Errorf("%w: rebuild read lpn %d..%d, capacity %d",
+			ErrTraceBeyondCapacity, lpn, lpn+int64(pages), s.ftl.UserPages())
+	}
+	s.runBGCUntil(t)
+	s.now = t
+	s.ftl.SetNow(t)
+	var d time.Duration
+	for i := 0; i < pages; i++ {
+		lp := lpn + int64(i)
+		if s.cache.IsDirty(lp) {
+			continue
+		}
+		rd, err := s.ftl.Read(lp)
+		if err != nil {
+			return 0, err
+		}
+		d += rd
+	}
+	if d == 0 {
+		return t + ramLatency, nil
+	}
+	d = s.scale(d)
+	start := t
+	if s.deviceFreeAt > start {
+		start = s.deviceFreeAt
+	}
+	s.deviceFreeAt = start + d
+	s.hostBusy += d
+	return s.deviceFreeAt, nil
+}
+
+// RebuildWrite services a maintenance write of pages logical pages starting
+// at lpn (direct to the FTL, bypassing the page cache) and returns its
+// completion time. The write feeds device-level policy observers like any
+// other device write — the target's GC policy must see rebuild traffic to
+// keep up with it.
+func (s *Simulator) RebuildWrite(t time.Duration, lpn int64, pages int) (time.Duration, error) {
+	if lpn < 0 || lpn+int64(pages) > s.ftl.UserPages() {
+		return 0, fmt.Errorf("%w: rebuild write lpn %d..%d, capacity %d",
+			ErrTraceBeyondCapacity, lpn, lpn+int64(pages), s.ftl.UserPages())
+	}
+	s.runBGCUntil(t)
+	s.now = t
+	s.ftl.SetNow(t)
+	var d, fgc time.Duration
+	for i := 0; i < pages; i++ {
+		wd, wf, err := s.ftl.Write(lpn + int64(i))
+		if err != nil {
+			return 0, err
+		}
+		d += wd
+		fgc += wf
+	}
+	s.observeWrite(int64(pages)*int64(s.ftl.PageSize()), false)
+	d = s.scale(d) + fgc
+	start := t
+	if s.deviceFreeAt > start {
+		start = s.deviceFreeAt
+	}
+	s.deviceFreeAt = start + d
+	s.hostBusy += d
+	return s.deviceFreeAt, nil
+}
+
+// RebuildTrim drops pages logical pages starting at lpn — any dirty cached
+// copies are discarded and the FTL mappings cleared. Metadata only: the
+// device timeline does not advance. Rebalancing uses it to release a
+// migrated stripe's old location.
+func (s *Simulator) RebuildTrim(t time.Duration, lpn int64, pages int) error {
+	if lpn < 0 || lpn+int64(pages) > s.ftl.UserPages() {
+		return fmt.Errorf("%w: rebuild trim lpn %d..%d, capacity %d",
+			ErrTraceBeyondCapacity, lpn, lpn+int64(pages), s.ftl.UserPages())
+	}
+	s.now = t
+	s.ftl.SetNow(t)
+	for i := 0; i < pages; i++ {
+		lp := lpn + int64(i)
+		s.cache.Drop(lp)
+		if err := s.ftl.Trim(lp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // updateIdleFraction folds the last interval's host-driven device
 // occupancy into the idle-share estimate policies consult.
 func (s *Simulator) updateIdleFraction() {

@@ -56,6 +56,21 @@ const (
 	// run: completions, drops, SLO violations, and p99.9 latency against
 	// its QoS class.
 	EvTenantSummary EventType = "tenant_summary"
+	// EvStripeTorn is a partial stripe write: segment k of a striped
+	// request failed after segments 0..k-1 had already landed on the
+	// survivors, leaving the stripe torn until redundancy or rebuild
+	// reconciles it. LPN/Pages are the array-level extent of the request;
+	// Dev is the member whose failure tore the stripe.
+	EvStripeTorn EventType = "stripe_torn"
+	// EvRebuild brackets one spare rebuild: Action "start" when a spare is
+	// attached to a degraded slot, "end"/"abort" when migration finishes or
+	// dies. FreedPages carries pages copied so far, Elapsed the rebuild's
+	// running time. Dev is the slot being rebuilt.
+	EvRebuild EventType = "rebuild"
+	// EvRebalance brackets one online reshape after device addition:
+	// Action "start"/"end"/"abort"; FreedPages carries stripes relocated,
+	// Elapsed the reshape's running time. Dev is the first added device.
+	EvRebalance EventType = "rebalance"
 )
 
 // Event is one trace record. It is a flat union over all event types: only
@@ -185,6 +200,9 @@ var typeFields = map[EventType]FieldSet{
 	EvReadRetry:      FDev | FVictim | FPage | FLPN | FAttempts | FRecovered,
 	EvDeviceDegraded: FDev | FReason,
 	EvTenantSummary:  FDev | FTenant | FClass | FRequests | FDropped | FViolations | FLatency,
+	EvStripeTorn:     FDev | FLPN | FPages,
+	EvRebuild:        FDev | FAction | FFreedPages | FElapsed,
+	EvRebalance:      FDev | FAction | FFreedPages | FElapsed,
 }
 
 // Fields returns the payload fields populated by events of type t. Unknown
@@ -211,4 +229,15 @@ const (
 	// ActionBypass: a critical device allowed past the token because
 	// denying it would only convert the work into a foreground stall.
 	ActionBypass = "bypass"
+)
+
+// Maintenance lifecycle actions (Event.Action for EvRebuild, EvRebalance).
+const (
+	// ActionStart: the rebuild/reshape began.
+	ActionStart = "start"
+	// ActionEnd: the rebuild/reshape ran to completion.
+	ActionEnd = "end"
+	// ActionAbort: the rebuild/reshape died mid-way (e.g. the salvage
+	// source failed) and will not resume.
+	ActionAbort = "abort"
 )

@@ -128,6 +128,38 @@ func (t *Tracer) DeviceDegraded(now time.Duration, dev int, reason string) {
 	t.sink.Emit(Event{Type: EvDeviceDegraded, T: now, Dev: dev, Reason: reason})
 }
 
+// StripeTorn emits a partial stripe write: the striped request covering
+// [lpn, lpn+pages) failed on member dev after earlier segments had landed
+// on the survivors.
+func (t *Tracer) StripeTorn(now time.Duration, dev int, lpn int64, pages int) {
+	if t == nil {
+		return
+	}
+	t.sink.Emit(Event{Type: EvStripeTorn, T: now, Dev: dev, LPN: lpn, Pages: pages})
+}
+
+// Rebuild emits one spare-rebuild lifecycle edge for the member slot dev:
+// action is ActionStart/ActionEnd/ActionAbort, pages the pages migrated so
+// far, elapsed the rebuild's running time.
+func (t *Tracer) Rebuild(now time.Duration, dev int, action string, pages int64, elapsed time.Duration) {
+	if t == nil {
+		return
+	}
+	t.sink.Emit(Event{Type: EvRebuild, T: now, Dev: dev,
+		Action: action, FreedPages: pages, Elapsed: elapsed})
+}
+
+// Rebalance emits one online-reshape lifecycle edge after device addition:
+// dev is the first added device, stripes the stripes relocated so far,
+// elapsed the reshape's running time.
+func (t *Tracer) Rebalance(now time.Duration, dev int, action string, stripes int64, elapsed time.Duration) {
+	if t == nil {
+		return
+	}
+	t.sink.Emit(Event{Type: EvRebalance, T: now, Dev: dev,
+		Action: action, FreedPages: stripes, Elapsed: elapsed})
+}
+
 // Token emits one array GC-coordination hand-off decision for member dev.
 func (t *Tracer) Token(now time.Duration, dev int, action string, reclaimBytes, freeBytes int64) {
 	if t == nil {
