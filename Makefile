@@ -12,13 +12,13 @@ COVERAGE_BASELINE := $(shell cat ci/coverage-baseline.txt)
 
 # PR number stamped into archived benchmark artifacts (BENCH_pr$(PR).json).
 # Bump per PR instead of editing the bench targets.
-PR ?= 9
+PR ?= 10
 
 # Benchmark repeats per run. 1 for the smoke run and gate; bench-compare
 # raises it so the Mann–Whitney U test has samples to work with.
 COUNT ?= 1
 
-.PHONY: ci build vet test test-race fuzz-regress fault-regress multitenant-smoke arrayscale-smoke coverage-gate fuzz bench-run bench bench-gate bench-baseline bench-compare bench-full bench-scale
+.PHONY: ci build vet test test-race fuzz-regress fault-regress multitenant-smoke arrayscale-smoke trim-smoke coverage-gate fuzz bench-run bench bench-gate bench-baseline bench-compare bench-full bench-scale
 
 # Tolerance band for the bytes-per-logical-page memory gate: the FTL's
 # metadata footprint (heap delta around construction, measured by
@@ -32,7 +32,7 @@ BYTES_PER_LPAGE_BAND := bytes/lpage=1.10,1.0
 # baseline-relative bands — the format's reason to exist is quantified.
 BINLOG_FLOORS := -min-metric size-x=10 -min-metric speed-x=5
 
-ci: build vet test-race fuzz-regress fault-regress multitenant-smoke arrayscale-smoke coverage-gate bench-gate
+ci: build vet test-race fuzz-regress fault-regress multitenant-smoke arrayscale-smoke trim-smoke coverage-gate bench-gate
 
 build:
 	$(GO) build ./...
@@ -80,6 +80,17 @@ arrayscale-smoke:
 		-run 'Rebuild|Redundancy|Mirror|Parity|Torn|AdaptiveCap|Growth|Spread' \
 		./internal/array/
 	$(GO) test -race -count=1 -short -run 'TestArrayScaleExpWorkersDeterministic' .
+
+# TRIM scenario smoke under the race detector: the TRIM-rich workload
+# generators' statistical tests, the trim-heavy quick interleaving sweeps
+# against the shadow model, the adaptive TRIM-OP policy, the Frankie
+# analytic oracle, and the trim experiment's worker-count determinism.
+# Isolated from test-race so a TRIM regression is named in CI output.
+trim-smoke:
+	$(GO) test -race -count=1 -short \
+		-run 'Trim|FileChurn|LogStructured|Frankie|EffectiveOP' \
+		./internal/workload/ ./internal/ftl/ ./internal/core/ ./internal/metrics/
+	$(GO) test -race -count=1 -short -run 'TestTrimExpWorkersDeterministic' .
 
 # Fail if total statement coverage of internal/... falls below the
 # baseline recorded in ci/coverage-baseline.txt. Raise the baseline when

@@ -5,8 +5,15 @@
 //
 //	jitgcsim -bench YCSB -policy JIT-GC [-ops N] [-seed S] [-factor F]
 //
-// Policies: L-BGC, A-BGC, ADP-GC, JIT-GC, no-BGC, or fixed (with -factor,
-// C_resv = factor × C_OP).
+// Policies: L-BGC, A-BGC, ADP-GC, TRIM-OP, JIT-GC, no-BGC, or fixed (with
+// -factor, C_resv = factor × C_OP).
+//
+// With -host-profile the synthetic benchmark is replaced by a TRIM-rich
+// host scenario: "churn" (seeded file create/delete with discard-on-unlink)
+// or "log" (append-only log-structured segments with whole-segment TRIMs).
+// -trim-rate sets the steady-state trimmed fraction the profile steers
+// toward. TRIM-OP is the adaptive over-provisioning policy that resizes the
+// background-GC reserve from the observed TRIM stream.
 //
 // With -tenants N the run switches to the open-loop multi-tenant front end:
 // N tenants with seeded -arrival processes feed bounded queues, a
@@ -41,7 +48,7 @@ func main() {
 
 	var (
 		bench    = flag.String("bench", "YCSB", "benchmark name (YCSB, Postmark, Filebench, Bonnie++, Tiobench, TPC-C)")
-		policy   = flag.String("policy", "JIT-GC", "BGC policy (L-BGC, A-BGC, ADP-GC, JIT-GC, fixed, no-BGC)")
+		policy   = flag.String("policy", "JIT-GC", "BGC policy (L-BGC, A-BGC, ADP-GC, TRIM-OP, JIT-GC, fixed, no-BGC)")
 		factor   = flag.Float64("factor", 1.0, "C_resv factor for -policy fixed (× C_OP)")
 		ops      = flag.Int("ops", 0, "number of host requests (default 100000)")
 		seed     = flag.Int64("seed", 1, "workload generation seed")
@@ -64,6 +71,8 @@ func main() {
 		arrival  = flag.String("arrival", "poisson", "tenant arrival process (poisson, mmpp, diurnal); used with -tenants")
 		slo      = flag.Duration("slo", 0, "silver-class p99.9 SLO target (gold = slo/4, bronze = 5×slo); default 100ms; used with -tenants")
 		rate     = flag.Float64("rate", 0, "aggregate arrival rate in req/s across all tenants (0 = 120); used with -tenants")
+		profile  = flag.String("host-profile", "", "TRIM-rich host profile replacing -bench (churn, log)")
+		trimRate = flag.Float64("trim-rate", 0, "steady-state trimmed fraction the host profile steers toward, in [0,1); used with -host-profile")
 	)
 	flag.Parse()
 
@@ -85,6 +94,16 @@ func main() {
 	}
 	if *devices == 1 && (*spares > 0 || *redun != "none") {
 		fmt.Fprintf(os.Stderr, "jitgcsim: -spares and -redundancy need a multi-device array (-devices > 1)\n")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *trimRate < 0 || *trimRate >= 1 {
+		fmt.Fprintf(os.Stderr, "jitgcsim: -trim-rate must be in [0,1), got %v\n", *trimRate)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *profile != "" && (*traceIn != "" || *tenants > 0 || *devices > 1) {
+		fmt.Fprintf(os.Stderr, "jitgcsim: -host-profile drives a single synthetic device (no -trace, -tenants, or -devices)\n")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -125,7 +144,8 @@ func main() {
 
 	spec := jitgc.PolicySpec{Kind: *policy, Factor: *factor, DisableSIP: *noSIP}
 	opt := jitgc.Options{Seed: *seed, Ops: *ops, Workers: *workers, Tracer: tracer,
-		FaultRate: *faultR, FaultSeed: *faultS}
+		FaultRate: *faultR, FaultSeed: *faultS,
+		HostProfile: *profile, TrimRate: *trimRate}
 	if *size != "" {
 		preset, err := nand.PresetByName(*size)
 		if err != nil {
@@ -161,6 +181,12 @@ func main() {
 		closeSink()
 		return
 	}
+	// A host profile replaces the synthetic benchmark, so label the run
+	// after it rather than the unused -bench default.
+	label := *bench
+	if *profile != "" {
+		label = *profile
+	}
 	var (
 		res jitgc.Results
 		err error
@@ -169,7 +195,7 @@ func main() {
 	case *traceIn != "":
 		res, err = replayTraceFile(*traceIn, *msr, spec, *timeline, tracer)
 	default:
-		res, err = runBenchmark(*bench, spec, opt, *timeline)
+		res, err = runBenchmark(label, spec, opt, *timeline)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -199,7 +225,8 @@ func main() {
 		fmt.Printf("SIP-filtered victims %.1f%%\n", res.FilteredVictimPct)
 	}
 	if res.TrimmedPages > 0 {
-		fmt.Printf("trimmed pages        %d\n", res.TrimmedPages)
+		fmt.Printf("trimmed pages        %d (end-of-run live mapped %d)\n",
+			res.TrimmedPages, res.MappedPages)
 	}
 	if res.InjectedFaults > 0 {
 		fmt.Printf("injected faults      %d (%d program, %d erase)\n",

@@ -48,6 +48,7 @@ func Experiments() []Experiment {
 		{ID: "ablation-victim", Title: "Ablation: GC victim selector", Run: ablationVictim},
 		{ID: "scale", Title: "Scale: metadata footprint and WAF vs device capacity (256 MiB – 64 GiB)", Run: scaleExp},
 		{ID: "multitenant", Title: "Multi-tenant: open-loop QoS grid (tenants × load × policy) with p99.9 SLO verdicts", Run: multitenantExp},
+		{ID: "trim", Title: "TRIM: Frankie-validated WAF sweep + host profile × intensity × policy grid", Run: trimExp},
 	}
 }
 

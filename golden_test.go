@@ -190,3 +190,36 @@ func TestMultiTenantExpDeterministic(t *testing.T) {
 			diffLines(parallel, again))
 	}
 }
+
+// TestTrimExpWorkersDeterministic asserts the trim experiment renders
+// byte-identically across worker counts and across repeated runs at a fixed
+// seed. Its grid mixes two kinds of cells — direct-driven steady-state
+// sweeps and full simulator runs over the TRIM-rich host profiles — and
+// both must derive every random choice from the cell's own seeded RNG.
+func TestTrimExpWorkersDeterministic(t *testing.T) {
+	e, err := ExperimentByID("trim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := 2000
+	if testing.Short() {
+		ops = 500
+	}
+	render := func(workers int) string {
+		tables, err := e.Run(Options{Seed: 1, Ops: ops, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return renderExperiment(e, tables)
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Errorf("trim experiment differs between Workers=1 and Workers=8:\n%s",
+			diffLines(serial, parallel))
+	}
+	if again := render(8); again != parallel {
+		t.Errorf("trim experiment differs between repeated Workers=8 runs:\n%s",
+			diffLines(parallel, again))
+	}
+}

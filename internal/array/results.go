@@ -260,6 +260,7 @@ func accumulate(agg *metrics.Results, r metrics.Results) {
 	agg.FGCInvocations += r.FGCInvocations
 	agg.BGCCollections += r.BGCCollections
 	agg.TrimmedPages += r.TrimmedPages
+	agg.MappedPages += r.MappedPages
 	agg.CacheReadHits += r.CacheReadHits
 	agg.BufferedPages += r.BufferedPages
 	agg.DirectPages += r.DirectPages

@@ -14,6 +14,9 @@ import (
 //   - a physical page is PageValid if and only if it is mapped, and every
 //     block's cached valid-page counter equals a recount of its mapped
 //     pages (valid-page counts balance),
+//   - the cached mapped-page counter — the live footprint that TRIM shrinks
+//     and effective-OP accounting reads — equals a recount of mapped lpns
+//     (the trimmed-page invariant),
 //   - every mapped page's stored payload token carries the logical page
 //     number it is mapped from (no aliasing or stale copies),
 //   - the free pool holds distinct in-range blocks, none of them an active
@@ -96,6 +99,11 @@ func (f *FTL) CheckConsistency() error {
 	}
 	if mapped != p2lMapped {
 		return fmt.Errorf("ftl: %d mapped lpns but %d mapped ppns", mapped, p2lMapped)
+	}
+	// Trimmed-page invariant: the cached live-footprint counter (which TRIM
+	// shrinks and the effective-OP accounting reads) must equal the recount.
+	if mapped != f.mappedPages {
+		return fmt.Errorf("ftl: cached mapped-page count %d, recount says %d", f.mappedPages, mapped)
 	}
 
 	// Free pool sanity.

@@ -170,10 +170,11 @@ type FTL struct {
 	cfg Config
 	dev *nand.Array
 
-	userPages int64   // exposed logical capacity in pages
-	l2p       pageMap // LPN → PPN, unmapped = -1
-	p2l       pageMap // PPN → LPN, unmapped = -1
-	integrity bool    // payload tokens tracked and verified
+	userPages   int64   // exposed logical capacity in pages
+	l2p         pageMap // LPN → PPN, unmapped = -1
+	p2l         pageMap // PPN → LPN, unmapped = -1
+	mappedPages int64   // live (mapped) lpns; userPages minus unmapped+trimmed
+	integrity   bool    // payload tokens tracked and verified
 
 	freeBlocks []int  // pool of erased blocks
 	inFreePool []bool // mirrors freeBlocks membership for O(1) lookups
@@ -279,6 +280,12 @@ func (f *FTL) Stats() Stats { return f.stats }
 
 // UserPages returns the logical capacity in pages.
 func (f *FTL) UserPages() int64 { return f.userPages }
+
+// MappedPages returns the number of logical pages currently mapped to a
+// physical copy — the live footprint GC must preserve. TRIM shrinks it, so
+// (TotalPages - MappedPages) / MappedPages is the device's measured
+// effective over-provisioning in the sense of Frankie et al.
+func (f *FTL) MappedPages() int64 { return f.mappedPages }
 
 // OPPages returns the over-provisioning capacity in pages.
 func (f *FTL) OPPages() int64 { return f.cfg.Geometry.TotalPages() - f.userPages }
@@ -437,6 +444,7 @@ func (f *FTL) Write(lpn int64) (service, fgc time.Duration, err error) {
 	ppn := addr.PPN(ppb)
 	f.l2p.set(lpn, ppn)
 	f.p2l.set(ppn, lpn)
+	f.mappedPages++
 	if _, ok := f.sip[lpn]; ok {
 		f.sipPerBlock[addr.Block]++
 	}
@@ -473,6 +481,7 @@ func (f *FTL) invalidateMapping(lpn int64) {
 	}
 	f.p2l.set(old, unmapped)
 	f.l2p.set(lpn, unmapped)
+	f.mappedPages--
 	f.lastInvalidate[addr.Block] = f.now
 	if _, ok := f.sip[lpn]; ok {
 		if f.sipPerBlock[addr.Block] > 0 {

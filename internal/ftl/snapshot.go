@@ -145,6 +145,7 @@ func (f *FTL) Restore(r io.Reader) error {
 	total := geo.TotalPages()
 	l2p := newPageMap(f.userPages, total)
 	p2l := newPageMap(total, total)
+	mapped := int64(0)
 	ppb := geo.PagesPerBlock
 	buf := make([]int64, snapshotChunk)
 	for lpn := int64(0); lpn < f.userPages; {
@@ -176,12 +177,14 @@ func (f *FTL) Restore(r io.Reader) error {
 			}
 			l2p.set(lpn, ppn)
 			p2l.set(ppn, lpn)
+			mapped++
 			lpn++
 		}
 	}
 
 	f.l2p = l2p
 	f.p2l = p2l
+	f.mappedPages = mapped
 	f.freeBlocks = freeBlocks
 	f.hostActive = hostActive
 	f.gcActive = gcActive

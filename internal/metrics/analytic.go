@@ -43,6 +43,64 @@ func GreedyWAF(totalPages, livePages int64) float64 {
 	return wa
 }
 
+// TRIM extension (Frankie et al., "Analysis of Trim Commands on
+// Overprovisioning and Write Amplification in Solid State Drives"): a host
+// that discards a steady fraction q of its working set shrinks the live
+// footprint the device must preserve, so the spare factor the WAF models see
+// is computed against (1-q)·U live pages rather than U. Trimmed pages cost
+// GC nothing — they are invalid without a compensating program — so WAF
+// collapses along the same greedy/mean-field curves, evaluated at the
+// TRIM-inflated effective over-provisioning. TrimmedLivePages, EffectiveOP
+// and the Frankie* helpers express that substitution so callers state their
+// workload in (working set, trimmed fraction) terms.
+
+// TrimmedLivePages returns the steady-state live footprint of a working set
+// of which trimmedFraction is discarded at any moment: (1-q)·ws, floored at
+// one page so the WAF models stay defined.
+func TrimmedLivePages(workingSetPages int64, trimmedFraction float64) int64 {
+	if trimmedFraction < 0 {
+		trimmedFraction = 0
+	}
+	if trimmedFraction > 1 {
+		trimmedFraction = 1
+	}
+	live := int64(math.Round((1 - trimmedFraction) * float64(workingSetPages)))
+	if live < 1 {
+		live = 1
+	}
+	return live
+}
+
+// EffectiveOP returns Frankie et al.'s TRIM-inflated spare factor
+// ρ_eff = (T - (1-q)·ws) / ((1-q)·ws): the over-provisioning the GC process
+// actually enjoys when q of the ws-page working set is trimmed on a device
+// with totalPages physical pages.
+func EffectiveOP(totalPages, workingSetPages int64, trimmedFraction float64) float64 {
+	live := TrimmedLivePages(workingSetPages, trimmedFraction)
+	if totalPages <= live {
+		return 0
+	}
+	return float64(totalPages-live) / float64(live)
+}
+
+// FrankieWAF returns the greedy steady-state write amplification predicted
+// by Frankie et al.'s WAF-vs-effective-OP curve: GreedyWAF evaluated at the
+// TRIM-reduced live footprint. It is the lower (greedy) edge of the analytic
+// bracket; FrankieWAFBracket returns both edges.
+func FrankieWAF(totalPages, workingSetPages int64, trimmedFraction float64) float64 {
+	return GreedyWAF(totalPages, TrimmedLivePages(workingSetPages, trimmedFraction))
+}
+
+// FrankieWAFBracket returns the [greedy, mean-field] analytic WAF bracket at
+// the TRIM-inflated effective over-provisioning. A correct greedy simulation
+// of uniform random writes with a steady trimmed fraction lands between the
+// two, exactly as the untrimmed scale experiment lands between GreedyWAF and
+// MeanFieldWAF.
+func FrankieWAFBracket(totalPages, workingSetPages int64, trimmedFraction float64) (lo, hi float64) {
+	live := TrimmedLivePages(workingSetPages, trimmedFraction)
+	return GreedyWAF(totalPages, live), MeanFieldWAF(totalPages, live)
+}
+
 // MeanFieldWAF returns the mean-field fixed-point write amplification of
 // RANDOM victim selection under uniform random writes: α = exp(-Sf·(1-α))
 // with Sf = totalPages/livePages, WA = 1/(1-α). An upper reference for

@@ -11,11 +11,11 @@ func TestGreedyWAF(t *testing.T) {
 		total, live int64
 		want        float64
 	}{
-		{100, 50, 1.0},        // ρ=1 → (1+1)/2 = 1
-		{107, 100, 7.642857},  // paper's 7% OP, full
-		{0, 0, 1},             // degenerate
-		{100, 100, 1},         // no spare
-		{100, 0, 1},           // nothing live
+		{100, 50, 1.0},              // ρ=1 → (1+1)/2 = 1
+		{107, 100, 7.642857},        // paper's 7% OP, full
+		{0, 0, 1},                   // degenerate
+		{100, 100, 1},               // no spare
+		{100, 0, 1},                 // nothing live
 		{200, 150, 1.0 + 2.0/3.0/2}, // ρ=1/3 → (4/3)/(2/3)=2 … checked below
 	}
 	for _, c := range cases[:5] {
@@ -48,6 +48,72 @@ func TestMeanFieldWAF(t *testing.T) {
 		g, m := GreedyWAF(total, live), MeanFieldWAF(total, live)
 		if m < g {
 			t.Errorf("live=%d: mean-field %v below greedy %v", live, m, g)
+		}
+	}
+}
+
+func TestTrimmedLivePages(t *testing.T) {
+	cases := []struct {
+		ws   int64
+		q    float64
+		want int64
+	}{
+		{1000, 0, 1000},
+		{1000, 0.25, 750},
+		{1000, 1, 1},     // floored at one page
+		{1000, -1, 1000}, // clamped
+		{1000, 2, 1},     // clamped then floored
+	}
+	for _, c := range cases {
+		if got := TrimmedLivePages(c.ws, c.q); got != c.want {
+			t.Errorf("TrimmedLivePages(%d, %v) = %d, want %d", c.ws, c.q, got, c.want)
+		}
+	}
+}
+
+func TestEffectiveOP(t *testing.T) {
+	// No trim: ρ_eff is the plain spare factor.
+	if got, want := EffectiveOP(107, 100, 0), 0.07; math.Abs(got-want) > 1e-12 {
+		t.Errorf("EffectiveOP(107, 100, 0) = %v, want %v", got, want)
+	}
+	// 30% trimmed: live = 70, ρ_eff = 37/70.
+	if got, want := EffectiveOP(107, 100, 0.30), 37.0/70.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("EffectiveOP(107, 100, 0.30) = %v, want %v", got, want)
+	}
+	if got := EffectiveOP(50, 100, 0); got != 0 {
+		t.Errorf("EffectiveOP with live beyond total = %v, want 0", got)
+	}
+	// TRIM only ever inflates the effective OP.
+	for _, q := range []float64{0, 0.1, 0.2, 0.4, 0.6} {
+		if EffectiveOP(107, 100, q) < EffectiveOP(107, 100, 0) {
+			t.Errorf("EffectiveOP shrank at q=%v", q)
+		}
+	}
+}
+
+func TestFrankieWAFCurve(t *testing.T) {
+	const total, ws = 65536, 55000
+	// q = 0 degenerates to the plain greedy model.
+	if got, want := FrankieWAF(total, ws, 0), GreedyWAF(total, ws); got != want {
+		t.Errorf("FrankieWAF at q=0 = %v, want GreedyWAF %v", got, want)
+	}
+	// WAF must collapse monotonically as the trimmed fraction grows.
+	prev := math.Inf(1)
+	for _, q := range []float64{0, 0.1, 0.2, 0.3, 0.45, 0.6} {
+		wa := FrankieWAF(total, ws, q)
+		if wa > prev {
+			t.Errorf("FrankieWAF rose from %v to %v at q=%v", prev, wa, q)
+		}
+		prev = wa
+	}
+	// The bracket stays ordered (greedy ≤ mean-field) at every intensity.
+	for _, q := range []float64{0, 0.15, 0.30, 0.45} {
+		lo, hi := FrankieWAFBracket(total, ws, q)
+		if lo > hi {
+			t.Errorf("q=%v: bracket inverted [%v, %v]", q, lo, hi)
+		}
+		if lo < 1 || hi < 1 {
+			t.Errorf("q=%v: bracket below 1 [%v, %v]", q, lo, hi)
 		}
 	}
 }

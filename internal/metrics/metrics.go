@@ -62,6 +62,10 @@ type Results struct {
 
 	// TrimmedPages counts pages discarded by host TRIM commands.
 	TrimmedPages int64
+	// MappedPages is the live logical footprint at the end of the run; with
+	// the device's total pages it yields the measured effective
+	// over-provisioning in the sense of Frankie et al.
+	MappedPages int64
 	// CacheReadHits counts read pages served from the page cache without
 	// touching the device.
 	CacheReadHits int64

@@ -127,6 +127,10 @@ type directObserver interface{ ObserveDirect(bytes int64) }
 // traffic (ADP-GC).
 type deviceObserver interface{ ObserveDeviceWrite(bytes int64) }
 
+// trimObserver is implemented by policies that consume host discard
+// traffic (TRIM-OP's adaptive effective-OP reserve).
+type trimObserver interface{ ObserveTrim(bytes int64) }
+
 // Simulator executes one run. Build with New, execute with Run.
 type Simulator struct {
 	cfg    Config
@@ -436,6 +440,9 @@ func (s *Simulator) handleRequest(r trace.Request) error {
 			if err := s.ftl.Trim(lpn); err != nil {
 				return err
 			}
+		}
+		if o, ok := s.policy.(trimObserver); ok {
+			o.ObserveTrim(int64(r.Pages) * int64(s.ftl.PageSize()))
 		}
 		s.complete(r.Time, r.Time+ramLatency)
 
@@ -791,6 +798,7 @@ func (s *Simulator) results() metrics.Results {
 		FGCInvocations:   st.FGCInvocations,
 		BGCCollections:   st.BGCCollections,
 		TrimmedPages:     st.Trims,
+		MappedPages:      s.ftl.MappedPages(),
 		CacheReadHits:    s.cacheReadHits,
 		Predictive:       s.predictive,
 		BufferedPages:    s.bufferedPages,

@@ -37,8 +37,8 @@ type Table = metrics.Table
 
 // PolicySpec selects and parameterizes a BGC invocation policy.
 type PolicySpec struct {
-	// Kind is one of "L-BGC", "A-BGC", "fixed", "ADP-GC", "JIT-GC",
-	// "no-BGC".
+	// Kind is one of "L-BGC", "A-BGC", "fixed", "ADP-GC", "TRIM-OP",
+	// "JIT-GC", "no-BGC".
 	Kind string
 	// Factor sets C_resv = Factor × C_OP for Kind "fixed".
 	Factor float64
@@ -66,6 +66,12 @@ func Fixed(factor float64) PolicySpec { return PolicySpec{Kind: "fixed", Factor:
 // ADP returns the adaptive device-only baseline ADP-GC.
 func ADP() PolicySpec { return PolicySpec{Kind: "ADP-GC"} }
 
+// TrimOP returns the adaptive over-provisioning policy for TRIM-rich
+// hosts: the A-BGC reserve discounted by the CDH-tracked TRIM rate, floored
+// at the L-BGC reserve (Frankie et al.'s effective-OP observation turned
+// into an invocation policy).
+func TrimOP() PolicySpec { return PolicySpec{Kind: "TRIM-OP"} }
+
 // JIT returns the paper's JIT-GC policy.
 func JIT() PolicySpec { return PolicySpec{Kind: "JIT-GC"} }
 
@@ -84,6 +90,8 @@ func (p PolicySpec) Factory() sim.PolicyFactory {
 			return core.NewFixedBGC(env.OPBytes(), p.Factor), nil
 		case "ADP-GC":
 			return core.NewADPGC(env.WriteBack, p.JIT)
+		case "TRIM-OP":
+			return core.NewTrimOP(env.WriteBack, env.OPBytes(), p.JIT)
 		case "JIT-GC":
 			j, err := core.NewJITGC(env.Cache, p.JIT)
 			if err != nil {
@@ -146,6 +154,16 @@ type Options struct {
 	// workload Seed so fault placement can be varied against a fixed
 	// request stream.
 	FaultSeed int64
+	// HostProfile, when non-empty, replaces the named paper benchmark with
+	// a TRIM-rich host profile: "churn" (file create/delete churn with
+	// discard-on-unlink) or "log" (SSDFS-style append-only log with
+	// whole-segment TRIM). The benchmark argument of Run/GenerateStream is
+	// then used only as the run label.
+	HostProfile string
+	// TrimRate is the host profile's steady-state trimmed share of the
+	// working set in [0,1) (the Frankie et al. q). Ignored unless
+	// HostProfile is set.
+	TrimRate float64
 }
 
 func (o Options) withDefaults() Options {
@@ -168,6 +186,15 @@ func (o Options) workers() int {
 		return o.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// generator resolves the workload: the TRIM-rich host profile when
+// HostProfile is set, the named paper benchmark otherwise.
+func (o Options) generator(benchmark string) (workload.Generator, error) {
+	if o.HostProfile != "" {
+		return workload.Profile(o.HostProfile, o.TrimRate)
+	}
+	return workload.ByName(benchmark)
 }
 
 // StreamingLatencyThreshold is the request count past which a run's latency
@@ -223,7 +250,7 @@ func (o Options) simConfig() (sim.Config, int64) {
 // closed-loop under the given policy.
 func Run(benchmark string, policy PolicySpec, opt Options) (Results, error) {
 	opt = opt.withDefaults()
-	gen, err := workload.ByName(benchmark)
+	gen, err := opt.generator(benchmark)
 	if err != nil {
 		return Results{}, err
 	}
@@ -244,7 +271,7 @@ func Run(benchmark string, policy PolicySpec, opt Options) (Results, error) {
 // want to drive the simulator directly (timeline capture, custom policies).
 func GenerateStream(benchmark string, opt Options) ([]trace.Request, sim.Config, error) {
 	opt = opt.withDefaults()
-	gen, err := workload.ByName(benchmark)
+	gen, err := opt.generator(benchmark)
 	if err != nil {
 		return nil, sim.Config{}, err
 	}
@@ -291,7 +318,7 @@ func RunTrace(reqs []trace.Request, name string, policy PolicySpec, cfg sim.Conf
 // practical predictors can be judged.
 func RunOracle(benchmark string, opt Options) (Results, error) {
 	opt = opt.withDefaults()
-	gen, err := workload.ByName(benchmark)
+	gen, err := opt.generator(benchmark)
 	if err != nil {
 		return Results{}, err
 	}
